@@ -1,0 +1,59 @@
+"""Shared configuration for the benchmark harnesses.
+
+Every benchmark module regenerates one table or figure of the paper's
+evaluation section (see DESIGN.md for the experiment index).  The paper's
+runs use an 8x8 / 15x15 PEPS with bond dimensions up to 64-280 on the
+Stampede2 supercomputer; on a single-core CI-class machine those sizes are
+infeasible, so by default every harness runs a *scaled-down* sweep that
+preserves the sweep structure (same algorithms, same axes, smaller lattice
+and bond dimensions).  Set the environment variable ``REPRO_SCALE=full`` to
+run closer to paper scale (slow), or ``REPRO_SCALE=smoke`` for the quickest
+possible pass.
+
+Each benchmark prints the rows/series the corresponding figure plots (run
+pytest with ``-s`` to see them) and stores the same numbers in
+``benchmark.extra_info`` so they survive in the pytest-benchmark JSON.
+"""
+
+import os
+
+import pytest
+
+#: Scale presets: lattice sizes and bond-dimension sweeps per experiment.
+SCALE = os.environ.get("REPRO_SCALE", "default").lower()
+
+
+def scaled(default, full, smoke=None):
+    """Pick a parameter by the active scale preset."""
+    if SCALE == "full":
+        return full
+    if SCALE == "smoke":
+        return smoke if smoke is not None else default
+    return default
+
+
+def print_series(title, header, rows):
+    """Print a figure/table series in a compact aligned form."""
+    print(f"\n=== {title} ===")
+    print(" | ".join(str(h) for h in header))
+    for row in rows:
+        print(" | ".join(_format(v) for v in row))
+
+
+def _format(value):
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+@pytest.fixture
+def record_rows(benchmark):
+    """Attach a printable series to a pytest-benchmark entry."""
+
+    def _record(title, header, rows):
+        print_series(title, header, rows)
+        benchmark.extra_info["series_title"] = title
+        benchmark.extra_info["series_header"] = list(header)
+        benchmark.extra_info["series_rows"] = [list(map(str, r)) for r in rows]
+
+    return _record

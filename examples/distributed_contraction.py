@@ -1,0 +1,72 @@
+"""Distributed-memory PEPS contraction on the simulated Cyclops-like backend.
+
+The Koala library's distinguishing feature is distributed-memory execution
+through Cyclops.  This environment has no MPI cluster, so the library ships a
+*simulated* distributed backend: tensors carry block-cyclic distributions
+over a virtual processor grid and every operation is charged to an alpha-beta
+communication model.  This example contracts the same PEPS on the NumPy
+backend and on simulated machines of increasing size, and prints the
+execution profile (simulated time, communication volume, where the time
+goes) — showing why the reshape-avoiding Gram-matrix evolution (Algorithm 5)
+pays off in distributed memory.
+
+Run with:  python examples/distributed_contraction.py
+"""
+
+import time
+
+from repro.algorithms.trotter import apply_tebd_layer, tebd_gate_layer
+from repro.backends import get_backend
+from repro.peps import BMPS, LocalGramQRSVDUpdate, QRUpdate, contract_single_layer
+from repro.peps.peps import random_peps, random_single_layer_grid
+from repro.tensornetwork import ImplicitRandomizedSVD
+
+
+def main() -> None:
+    nrow = ncol = 4
+    bond = 4
+
+    # ------------------------------------------------------------------ #
+    # 1. IBMPS contraction: NumPy wall-clock vs simulated distributed time
+    # ------------------------------------------------------------------ #
+    grid_data = random_single_layer_grid(nrow, ncol, bond_dim=bond, seed=0)
+    option = BMPS(ImplicitRandomizedSVD(rank=bond, niter=1, seed=0))
+
+    start = time.perf_counter()
+    value = contract_single_layer(grid_data, option, backend="numpy")
+    numpy_seconds = time.perf_counter() - start
+    print(f"IBMPS contraction of a {nrow}x{ncol} PEPS (bond {bond})")
+    print(f"  numpy backend:        value = {value:+.6e}, wall-clock {numpy_seconds:.4f} s")
+
+    for nprocs in (16, 64, 256):
+        backend = get_backend("ctf", nprocs=nprocs)
+        grid = [[backend.astensor(t) for t in row] for row in grid_data]
+        backend.reset_stats()
+        value_d = contract_single_layer(grid, option, backend=backend)
+        stats = backend.stats
+        print(f"  simulated {nprocs:4d} cores: value = {value_d:+.6e}, "
+              f"simulated {stats.simulated_seconds:.4f} s, "
+              f"{stats.comm_bytes / 1e6:.2f} MB moved, "
+              f"{stats.flops / 1e9:.2f} Gflop")
+
+    # ------------------------------------------------------------------ #
+    # 2. Evolution: plain QR-SVD vs reshape-avoiding local-Gram update
+    # ------------------------------------------------------------------ #
+    print("\nOne TEBD layer on 64 simulated cores (Algorithm 1 vs Algorithm 5):")
+    layer = tebd_gate_layer(nrow, ncol, rng=1)
+    for name, option_cls in (("qr-svd", QRUpdate), ("local-gram-qr-svd", LocalGramQRSVDUpdate)):
+        backend = get_backend("ctf", nprocs=64)
+        state = random_peps(nrow, ncol, bond_dim=bond, seed=1, backend=backend)
+        backend.reset_stats()
+        apply_tebd_layer(state, layer, option_cls(rank=bond))
+        stats = backend.stats
+        breakdown = ", ".join(
+            f"{key}={seconds:.4f}s"
+            for key, seconds in sorted(stats.seconds_by_category.items(),
+                                       key=lambda kv: -kv[1])[:4]
+        )
+        print(f"  {name:>18}: simulated {stats.simulated_seconds:.4f} s  ({breakdown})")
+
+
+if __name__ == "__main__":
+    main()

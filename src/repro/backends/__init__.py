@@ -1,0 +1,67 @@
+"""Tensor-backend abstraction layer.
+
+The library is written once against the :class:`~repro.backends.interface.Backend`
+protocol, and the concrete tensor arithmetic is supplied by one of the
+registered backends:
+
+``"numpy"``
+    Sequential/threaded execution on :class:`numpy.ndarray` objects.
+
+``"distributed"`` (aliases: ``"ctf"``, ``"cyclops"``)
+    A simulated distributed-memory backend standing in for Cyclops/CTF.
+    Tensors carry a block-cyclic distribution over a virtual processor grid
+    and every operation is charged against an alpha-beta communication model
+    and a per-core flop-rate model, so redistribution-heavy code paths
+    (e.g. ``reshape`` before a factorization) are visibly more expensive than
+    Gram-matrix based ones, matching the behaviour studied in the paper.
+
+Use :func:`get_backend` to obtain a backend instance by name.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.backends.interface import Backend
+from repro.backends.numpy_backend import NumPyBackend
+
+
+def get_backend(backend: Union[str, Backend, None] = "numpy", **kwargs) -> Backend:
+    """Return a backend instance.
+
+    Parameters
+    ----------
+    backend:
+        A backend name (``"numpy"``, ``"distributed"``, ``"ctf"``,
+        ``"cyclops"``), an existing :class:`Backend` instance (returned
+        unchanged, ``kwargs`` must be empty), or ``None`` for the default
+        NumPy backend.
+    kwargs:
+        Extra configuration forwarded to the backend constructor.  The
+        distributed backend accepts ``nprocs``, ``cost_model`` and
+        ``track_memory``.
+    """
+    if backend is None:
+        backend = "numpy"
+    if isinstance(backend, Backend):
+        if kwargs:
+            raise ValueError(
+                "cannot pass constructor kwargs together with a backend instance"
+            )
+        return backend
+    if not isinstance(backend, str):
+        raise TypeError(f"backend must be a str or Backend, got {type(backend)!r}")
+    name = backend.lower()
+    if name in ("numpy", "np"):
+        return NumPyBackend(**kwargs)
+    if name in ("distributed", "ctf", "cyclops"):
+        # Imported lazily to keep the numpy-only path dependency-free.
+        from repro.backends.distributed import DistributedBackend
+
+        return DistributedBackend(**kwargs)
+    raise ValueError(
+        f"unknown backend {backend!r}; available: 'numpy', 'distributed' (alias 'ctf')"
+    )
+
+
+__all__ = ["Backend", "NumPyBackend", "get_backend"]

@@ -1,0 +1,40 @@
+"""Simulated distributed-memory tensor backend (Cyclops/CTF substitute).
+
+The original Koala library runs its distributed experiments with the Cyclops
+Tensor Framework on the Stampede2 supercomputer.  Neither MPI nor CTF is
+available in this reproduction environment, so this subpackage provides a
+*simulated* distributed backend:
+
+* every tensor (:class:`DistTensor`) carries a block-cyclic distribution over
+  a virtual processor grid (:mod:`repro.backends.distributed.distribution`),
+* every operation is routed through an alpha-beta communication model and a
+  per-core flop-rate model (:mod:`repro.backends.distributed.cost_model`,
+  :mod:`repro.backends.distributed.comm`) that accumulate simulated execution
+  time, communication volume and peak memory,
+* data itself is stored densely in local memory so numerical results are
+  bit-identical to the NumPy backend.
+
+This preserves the *behavioural* distinctions the paper relies on — reshape
+forces an expensive redistribution, distributed factorizations are
+latency-bound for small matrices, contraction flops scale with the number of
+processes — so the relative performance of the algorithm variants
+(QR-SVD vs. local-Gram evolution, BMPS vs. IBMPS contraction, strong/weak
+scaling) can be reproduced as cost-model results.
+"""
+
+from repro.backends.distributed.cost_model import CostModel, ExecutionStats, MachineParameters
+from repro.backends.distributed.comm import SimulatedCommunicator
+from repro.backends.distributed.distribution import ProcessorGrid, Distribution
+from repro.backends.distributed.dist_tensor import DistTensor
+from repro.backends.distributed.backend import DistributedBackend
+
+__all__ = [
+    "CostModel",
+    "ExecutionStats",
+    "MachineParameters",
+    "SimulatedCommunicator",
+    "ProcessorGrid",
+    "Distribution",
+    "DistTensor",
+    "DistributedBackend",
+]

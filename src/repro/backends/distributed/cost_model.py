@@ -1,0 +1,228 @@
+"""Cost model for the simulated distributed backend.
+
+The model combines a per-core floating-point rate with an alpha-beta
+(latency / inverse-bandwidth) communication model.  Default parameters are
+loosely calibrated to a Stampede2-class machine (KNL nodes, 64 cores per
+node, Omni-Path interconnect) but the absolute values only matter up to an
+overall scale — the benchmarks reproduce *shapes* (which algorithm wins and
+how curves scale), not absolute seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class MachineParameters:
+    """Hardware parameters of the simulated machine.
+
+    Attributes
+    ----------
+    flop_rate:
+        Sustained floating-point rate per core, in flop/s (dense GEMM-like).
+    alpha:
+        Per-message latency in seconds (network + software overhead).
+    beta:
+        Inverse bandwidth in seconds per byte (per link).
+    cores_per_node:
+        Number of cores on one node (Stampede2 KNL: 64).
+    memory_per_node:
+        Usable memory per node in bytes (Stampede2 KNL: ~96 GB; the paper's
+        64-node RQC run quotes 7808 GB total, i.e. 122 GB/node).
+    factorization_efficiency:
+        Fraction of peak achieved by distributed (ScaLAPACK-style)
+        factorizations relative to GEMM-like contractions.
+    local_flop_rate:
+        Rate used for process-local (sequential) linear algebra such as the
+        eigendecomposition of a gathered Gram matrix.
+    """
+
+    flop_rate: float = 5.0e9
+    alpha: float = 2.0e-6
+    beta: float = 5.0e-10
+    cores_per_node: int = 64
+    memory_per_node: float = 96.0e9
+    factorization_efficiency: float = 0.25
+    local_flop_rate: float = 5.0e9
+
+    def nodes(self, nprocs: int, procs_per_node: Optional[int] = None) -> int:
+        per_node = procs_per_node or self.cores_per_node
+        return max(1, (nprocs + per_node - 1) // per_node)
+
+
+@dataclass
+class ExecutionStats:
+    """Accumulated simulated execution statistics."""
+
+    simulated_seconds: float = 0.0
+    flops: float = 0.0
+    comm_bytes: float = 0.0
+    messages: float = 0.0
+    peak_tensor_bytes: float = 0.0
+    counts: Dict[str, int] = field(default_factory=dict)
+    seconds_by_category: Dict[str, float] = field(default_factory=dict)
+
+    def record(self, category: str, seconds: float, flops: float = 0.0,
+               comm_bytes: float = 0.0, messages: float = 0.0) -> None:
+        self.simulated_seconds += seconds
+        self.flops += flops
+        self.comm_bytes += comm_bytes
+        self.messages += messages
+        self.counts[category] = self.counts.get(category, 0) + 1
+        self.seconds_by_category[category] = (
+            self.seconds_by_category.get(category, 0.0) + seconds
+        )
+
+    def observe_tensor(self, nbytes: float) -> None:
+        if nbytes > self.peak_tensor_bytes:
+            self.peak_tensor_bytes = nbytes
+
+    def reset(self) -> None:
+        self.simulated_seconds = 0.0
+        self.flops = 0.0
+        self.comm_bytes = 0.0
+        self.messages = 0.0
+        self.peak_tensor_bytes = 0.0
+        self.counts.clear()
+        self.seconds_by_category.clear()
+
+
+class CostModel:
+    """Translates operations on distributed tensors into simulated time.
+
+    Parameters
+    ----------
+    nprocs:
+        Number of simulated processes.
+    machine:
+        Hardware parameters; defaults to a Stampede2-like configuration.
+    procs_per_node:
+        Processes per node (the paper mostly uses PPN=64, sometimes 16).
+    """
+
+    def __init__(
+        self,
+        nprocs: int = 64,
+        machine: Optional[MachineParameters] = None,
+        procs_per_node: Optional[int] = None,
+    ) -> None:
+        if nprocs < 1:
+            raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+        self.nprocs = int(nprocs)
+        self.machine = machine or MachineParameters()
+        self.procs_per_node = int(procs_per_node or self.machine.cores_per_node)
+        self.stats = ExecutionStats()
+
+    # ------------------------------------------------------------------ #
+    # Computation
+    # ------------------------------------------------------------------ #
+    def contraction(self, flops: float, comm_bytes: float = 0.0, messages: float = 0.0,
+                    category: str = "contraction") -> None:
+        """Charge a distributed tensor contraction.
+
+        ``flops`` are divided over all processes; communication follows the
+        caller-supplied estimate (typically a SUMMA-like volume).
+        """
+        compute = flops / (self.machine.flop_rate * self.nprocs)
+        comm = self.machine.alpha * messages + self.machine.beta * comm_bytes
+        self.stats.record(category, compute + comm, flops=flops,
+                          comm_bytes=comm_bytes, messages=messages)
+
+    def local_compute(self, flops: float, category: str = "local") -> None:
+        """Charge process-local sequential computation (e.g. a gathered Gram
+        matrix eigendecomposition, Algorithm 5 steps 3-8)."""
+        self.stats.record(category, flops / self.machine.local_flop_rate, flops=flops)
+
+    def distributed_factorization(self, m: int, n: int, flops: float,
+                                  category: str = "factorization") -> None:
+        """Charge a ScaLAPACK-style distributed factorization (SVD/QR/EVD).
+
+        The panel-factorization structure makes these latency-bound for small
+        matrices: we charge ``min(m, n) / block`` panel steps, each with a
+        logarithmic collective, on top of the (inefficient) bulk flops.
+        """
+        block = 64
+        panels = max(1, min(m, n) // block + 1)
+        import math
+
+        compute = flops / (
+            self.machine.flop_rate * self.nprocs * self.machine.factorization_efficiency
+        )
+        comm_messages = panels * max(1.0, math.log2(self.nprocs)) * 4.0
+        comm_bytes = panels * (m + n) * 16.0
+        comm = self.machine.alpha * comm_messages + self.machine.beta * comm_bytes
+        self.stats.record(category, compute + comm, flops=flops,
+                          comm_bytes=comm_bytes, messages=comm_messages)
+
+    # ------------------------------------------------------------------ #
+    # Data movement
+    # ------------------------------------------------------------------ #
+    def redistribution(self, nbytes: float, category: str = "redistribution") -> None:
+        """Charge an all-to-all redistribution of a tensor (e.g. ``reshape``)."""
+        p = self.nprocs
+        messages = max(0, p - 1)
+        comm_bytes = nbytes  # every element leaves its process once (worst case)
+        seconds = self.machine.alpha * messages + self.machine.beta * comm_bytes / max(1, p) * (p - 1) / max(1, p) if p > 1 else 0.0
+        # Even on one process a reshape costs a pass over memory.
+        seconds += nbytes / (self.machine.flop_rate * 8.0)
+        self.stats.record(category, seconds, comm_bytes=comm_bytes if p > 1 else 0.0,
+                          messages=messages)
+
+    def gather(self, nbytes: float, category: str = "gather") -> None:
+        """Charge gathering a tensor to one process (tree gather)."""
+        import math
+
+        p = self.nprocs
+        messages = max(1.0, math.log2(p)) if p > 1 else 0.0
+        seconds = self.machine.alpha * messages + self.machine.beta * nbytes
+        self.stats.record(category, seconds, comm_bytes=nbytes if p > 1 else 0.0,
+                          messages=messages)
+
+    def broadcast(self, nbytes: float, category: str = "broadcast") -> None:
+        """Charge broadcasting a (small) tensor from one process to all."""
+        import math
+
+        p = self.nprocs
+        messages = max(1.0, math.log2(p)) if p > 1 else 0.0
+        seconds = self.machine.alpha * messages + self.machine.beta * nbytes * (
+            math.log2(p) if p > 1 else 0.0
+        )
+        self.stats.record(category, seconds, comm_bytes=nbytes if p > 1 else 0.0,
+                          messages=messages)
+
+    def allreduce(self, nbytes: float, category: str = "allreduce") -> None:
+        """Charge an allreduce (ring algorithm: 2·(p-1)/p of the data volume)."""
+        import math
+
+        p = self.nprocs
+        if p == 1:
+            self.stats.record(category, 0.0)
+            return
+        messages = 2.0 * max(1.0, math.log2(p))
+        volume = 2.0 * nbytes * (p - 1) / p
+        seconds = self.machine.alpha * messages + self.machine.beta * volume
+        self.stats.record(category, seconds, comm_bytes=volume, messages=messages)
+
+    # ------------------------------------------------------------------ #
+    # Bookkeeping
+    # ------------------------------------------------------------------ #
+    def observe_tensor(self, nbytes: float) -> None:
+        self.stats.observe_tensor(nbytes)
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.stats.simulated_seconds
+
+    def reset(self) -> None:
+        self.stats.reset()
+
+    def memory_per_process(self, nbytes: float) -> float:
+        """Bytes of a tensor held by each process under an even distribution."""
+        return nbytes / self.nprocs
+
+    def fits_in_memory(self, total_bytes: float, safety: float = 0.8) -> bool:
+        """Whether a working set of ``total_bytes`` fits in aggregate memory."""
+        nodes = self.machine.nodes(self.nprocs, self.procs_per_node)
+        return total_bytes <= safety * nodes * self.machine.memory_per_node

@@ -1,0 +1,129 @@
+"""Distributed tensor objects for the simulated backend.
+
+A :class:`DistTensor` pairs a dense ndarray (the *logical* global tensor —
+numerically identical to what the NumPy backend would compute) with a
+:class:`~repro.backends.distributed.distribution.Distribution` descriptor and
+a reference to the owning backend's cost model.  Elementwise arithmetic is
+supported directly on the objects and charged to the model, so library code
+written for NumPy arrays (``a + b``, ``2.0 * t``, ``-t``) works unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.backends.distributed.distribution import Distribution
+
+
+class DistTensor:
+    """A dense tensor carrying a simulated block-cyclic distribution."""
+
+    __array_priority__ = 100  # ensure ndarray defers to our operators
+
+    def __init__(self, array: np.ndarray, distribution: Distribution, backend) -> None:
+        array = np.asarray(array)
+        if tuple(array.shape) != tuple(distribution.shape):
+            raise ValueError(
+                f"array shape {array.shape} does not match distribution shape "
+                f"{distribution.shape}"
+            )
+        self.array = array
+        self.distribution = distribution
+        self.backend = backend
+        backend.cost_model.observe_tensor(array.nbytes)
+
+    # ------------------------------------------------------------------ #
+    # ndarray-like metadata
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(self.array.shape)
+
+    @property
+    def ndim(self) -> int:
+        return self.array.ndim
+
+    @property
+    def dtype(self):
+        return self.array.dtype
+
+    @property
+    def size(self) -> int:
+        return int(self.array.size)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.array.nbytes)
+
+    def local_bytes(self) -> int:
+        """Bytes held by each simulated process."""
+        return self.distribution.local_bytes(self.array.itemsize)
+
+    def __repr__(self) -> str:
+        return (
+            f"DistTensor(shape={self.shape}, grid={self.distribution.grid.dims}, "
+            f"dtype={self.dtype})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic (elementwise operations are perfectly parallel; charge the
+    # per-process flops only).
+    # ------------------------------------------------------------------ #
+    def _wrap(self, array: np.ndarray) -> "DistTensor":
+        dist = Distribution.natural(array.shape, self.backend.nprocs)
+        return DistTensor(array, dist, self.backend)
+
+    def _charge_elementwise(self, nelements: int) -> None:
+        self.backend.cost_model.contraction(
+            flops=2.0 * nelements, comm_bytes=0.0, messages=0.0, category="elementwise"
+        )
+
+    @staticmethod
+    def _unwrap(other):
+        return other.array if isinstance(other, DistTensor) else other
+
+    def __add__(self, other):
+        self._charge_elementwise(self.size)
+        return self._wrap(self.array + self._unwrap(other))
+
+    def __radd__(self, other):
+        self._charge_elementwise(self.size)
+        return self._wrap(self._unwrap(other) + self.array)
+
+    def __sub__(self, other):
+        self._charge_elementwise(self.size)
+        return self._wrap(self.array - self._unwrap(other))
+
+    def __rsub__(self, other):
+        self._charge_elementwise(self.size)
+        return self._wrap(self._unwrap(other) - self.array)
+
+    def __mul__(self, other):
+        self._charge_elementwise(self.size)
+        return self._wrap(self.array * self._unwrap(other))
+
+    def __rmul__(self, other):
+        self._charge_elementwise(self.size)
+        return self._wrap(self._unwrap(other) * self.array)
+
+    def __truediv__(self, other):
+        self._charge_elementwise(self.size)
+        return self._wrap(self.array / self._unwrap(other))
+
+    def __neg__(self):
+        self._charge_elementwise(self.size)
+        return self._wrap(-self.array)
+
+    def conj(self) -> "DistTensor":
+        self._charge_elementwise(self.size)
+        return self._wrap(np.conj(self.array))
+
+    def copy(self) -> "DistTensor":
+        return DistTensor(self.array.copy(), self.distribution, self.backend)
+
+    def __array__(self, dtype=None):
+        # Implicit conversion to ndarray implies a gather of all shards.
+        self.backend.cost_model.gather(self.nbytes)
+        return np.asarray(self.array, dtype=dtype)

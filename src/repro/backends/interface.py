@@ -1,0 +1,198 @@
+"""Abstract tensor-backend protocol.
+
+Every high-level routine in the library (MPS/MPO machinery, PEPS updates and
+contractions, the ``einsumsvd`` implementations, the driver applications)
+manipulates tensors exclusively through this interface, mirroring the
+``tensorbackends`` abstraction used by the Koala library from the paper.
+Backends operate on *backend-native* tensor objects: plain
+:class:`numpy.ndarray` for the NumPy backend, :class:`DistTensor` for the
+simulated distributed backend.  Native tensors are expected to support the
+standard arithmetic operators (``+``, ``-``, ``*`` with scalars) and expose
+``shape``/``ndim``/``dtype`` attributes.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, ensure_rng
+
+Tensor = Any  # backend-native tensor object
+
+
+class Backend(abc.ABC):
+    """Protocol for tensor creation, manipulation and dense linear algebra."""
+
+    #: human-readable backend name (``"numpy"``, ``"distributed"``)
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------ #
+    # Creation and conversion
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def astensor(self, data: Any, dtype: Optional[np.dtype] = None) -> Tensor:
+        """Convert array-like ``data`` into a backend-native tensor."""
+
+    @abc.abstractmethod
+    def asarray(self, tensor: Tensor) -> np.ndarray:
+        """Return the full dense :class:`numpy.ndarray` of ``tensor``.
+
+        For distributed backends this implies a gather of all shards.
+        """
+
+    @abc.abstractmethod
+    def zeros(self, shape: Sequence[int], dtype: np.dtype = np.complex128) -> Tensor:
+        """Dense tensor of zeros."""
+
+    @abc.abstractmethod
+    def ones(self, shape: Sequence[int], dtype: np.dtype = np.complex128) -> Tensor:
+        """Dense tensor of ones."""
+
+    @abc.abstractmethod
+    def eye(self, n: int, dtype: np.dtype = np.complex128) -> Tensor:
+        """Identity matrix of size ``n``."""
+
+    @abc.abstractmethod
+    def random_uniform(
+        self,
+        shape: Sequence[int],
+        low: float = -1.0,
+        high: float = 1.0,
+        rng: SeedLike = None,
+        dtype: np.dtype = np.complex128,
+    ) -> Tensor:
+        """Tensor with i.i.d. uniform entries.
+
+        For complex dtypes both the real and imaginary parts are drawn from
+        ``U[low, high)`` — this is the probe distribution used by the
+        randomized SVD (Algorithm 4 draws from ``[-1, 1]``).
+        """
+
+    # ------------------------------------------------------------------ #
+    # Shape manipulation
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def reshape(self, tensor: Tensor, shape: Sequence[int]) -> Tensor:
+        """Reshape (fold/unfold) a tensor.
+
+        On the distributed backend this is the operation the paper identifies
+        as a potential bottleneck: changing the fold generally requires a
+        global redistribution of the data.
+        """
+
+    @abc.abstractmethod
+    def transpose(self, tensor: Tensor, axes: Sequence[int]) -> Tensor:
+        """Permute tensor modes."""
+
+    @abc.abstractmethod
+    def conj(self, tensor: Tensor) -> Tensor:
+        """Complex conjugate."""
+
+    @abc.abstractmethod
+    def copy(self, tensor: Tensor) -> Tensor:
+        """An independent copy of ``tensor``."""
+
+    # ------------------------------------------------------------------ #
+    # Contraction and elementwise algebra
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def einsum(self, subscripts: str, *operands: Tensor) -> Tensor:
+        """Einstein-summation contraction of one or more tensors."""
+
+    @abc.abstractmethod
+    def tensordot(self, a: Tensor, b: Tensor, axes) -> Tensor:
+        """Pairwise contraction over the given axes (NumPy ``tensordot`` semantics)."""
+
+    @abc.abstractmethod
+    def norm(self, tensor: Tensor) -> float:
+        """Frobenius norm."""
+
+    @abc.abstractmethod
+    def item(self, tensor: Tensor) -> complex:
+        """The scalar value of a 0-d (or single-element) tensor."""
+
+    # ------------------------------------------------------------------ #
+    # Dense factorizations of matrices (2-d tensors)
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def svd(self, matrix: Tensor) -> Tuple[Tensor, Tensor, Tensor]:
+        """Economy SVD ``matrix = U @ diag(s) @ Vh``; ``s`` is 1-d and real."""
+
+    @abc.abstractmethod
+    def qr(self, matrix: Tensor) -> Tuple[Tensor, Tensor]:
+        """Reduced QR factorization of a matrix."""
+
+    @abc.abstractmethod
+    def eigh(self, matrix: Tensor) -> Tuple[Tensor, Tensor]:
+        """Eigendecomposition of a Hermitian matrix: eigenvalues (ascending), eigenvectors."""
+
+    # ------------------------------------------------------------------ #
+    # Local <-> distributed movement
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def to_local(self, tensor: Tensor) -> np.ndarray:
+        """Gather a (small) tensor into process-local memory as an ndarray.
+
+        Algorithm 5 of the paper performs the eigendecomposition of the Gram
+        matrix locally; this is the primitive that moves the Gram matrix out
+        of distributed memory.
+        """
+
+    @abc.abstractmethod
+    def from_local(self, array: np.ndarray, dtype: Optional[np.dtype] = None) -> Tensor:
+        """Scatter a process-local ndarray back into a backend tensor."""
+
+    # ------------------------------------------------------------------ #
+    # Derived helpers (implemented once, shared by all backends)
+    # ------------------------------------------------------------------ #
+    def shape(self, tensor: Tensor) -> Tuple[int, ...]:
+        """Shape of a tensor (native tensors expose ``.shape``)."""
+        return tuple(tensor.shape)
+
+    def ndim(self, tensor: Tensor) -> int:
+        """Number of modes of a tensor."""
+        return int(getattr(tensor, "ndim", len(tensor.shape)))
+
+    def dtype(self, tensor: Tensor):
+        """Data type of a tensor."""
+        return tensor.dtype
+
+    def size(self, tensor: Tensor) -> int:
+        """Total number of elements."""
+        out = 1
+        for s in self.shape(tensor):
+            out *= int(s)
+        return out
+
+    def random_normal(
+        self,
+        shape: Sequence[int],
+        scale: float = 1.0,
+        rng: SeedLike = None,
+        dtype: np.dtype = np.complex128,
+    ) -> Tensor:
+        """Tensor with i.i.d. (complex) normal entries of the given scale."""
+        rng = ensure_rng(rng)
+        if np.issubdtype(np.dtype(dtype), np.complexfloating):
+            data = scale * (
+                rng.standard_normal(tuple(shape))
+                + 1j * rng.standard_normal(tuple(shape))
+            )
+        else:
+            data = scale * rng.standard_normal(tuple(shape))
+        return self.astensor(np.asarray(data, dtype=dtype))
+
+    def diag(self, vector: Tensor) -> Tensor:
+        """Return a diagonal matrix built from a 1-d tensor."""
+        vec = self.to_local(vector)
+        return self.from_local(np.diag(vec))
+
+    def allclose(self, a: Tensor, b: Tensor, rtol: float = 1e-9, atol: float = 1e-12) -> bool:
+        """Elementwise comparison of two tensors (gathers both)."""
+        return bool(np.allclose(self.asarray(a), self.asarray(b), rtol=rtol, atol=atol))
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r}>"

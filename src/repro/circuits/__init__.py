@@ -1,0 +1,6 @@
+"""Quantum circuit intermediate representation and circuit generators."""
+
+from repro.circuits.circuit import Circuit, Gate
+from repro.circuits.random_circuits import random_quantum_circuit, rqc_layer_structure
+
+__all__ = ["Circuit", "Gate", "random_quantum_circuit", "rqc_layer_structure"]

@@ -1,0 +1,41 @@
+"""Dense and implicit linear-algebra kernels used by the tensor-network code.
+
+* :mod:`repro.linalg.truncated_svd` — rank/cutoff-truncated SVD with flexible
+  singular-value absorption.
+* :mod:`repro.linalg.orthogonalize` — QR- and Gram-matrix based
+  orthogonalization of tensor operators (the paper's Algorithm 5,
+  "reshape-avoiding orthogonalization").
+* :mod:`repro.linalg.randomized_svd` — randomized SVD with an *implicit*
+  operator (the paper's Algorithm 4), the engine behind IBMPS.
+* :mod:`repro.linalg.implicit_op` — linear operators defined by uncontracted
+  tensor networks.
+"""
+
+from repro.linalg.truncated_svd import truncated_svd, truncate_spectrum, TruncatedSVDResult
+from repro.linalg.orthogonalize import (
+    orthogonalize,
+    tensor_qr,
+    gram_orthogonalize,
+    qr_orthogonalize,
+)
+from repro.linalg.implicit_op import (
+    ImplicitOperator,
+    DenseTensorOperator,
+    TensorNetworkOperator,
+)
+from repro.linalg.randomized_svd import randomized_svd, RandomizedSVDResult
+
+__all__ = [
+    "truncated_svd",
+    "truncate_spectrum",
+    "TruncatedSVDResult",
+    "orthogonalize",
+    "tensor_qr",
+    "gram_orthogonalize",
+    "qr_orthogonalize",
+    "ImplicitOperator",
+    "DenseTensorOperator",
+    "TensorNetworkOperator",
+    "randomized_svd",
+    "RandomizedSVDResult",
+]

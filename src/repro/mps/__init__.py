@@ -1,0 +1,20 @@
+"""Matrix product state (MPS) and matrix product operator (MPO) substrate.
+
+PEPS contraction by boundary MPS (Algorithms 2 and 3 of the paper) reduces to
+repeatedly applying an MPO — a row of the PEPS — to an MPS — the running
+boundary — and truncating the result.  This package provides that machinery:
+
+* :class:`~repro.mps.mps.MPS` — sites of shape ``(left, phys, right)`` with
+  canonicalization, compression, inner products and dense conversion,
+* :class:`~repro.mps.mpo.MPO` — sites of shape ``(left, out, in, right)``,
+* :mod:`repro.mps.apply` — exact and zip-up (Algorithm 3) MPO×MPS
+  application, the latter parameterized by an ``einsumsvd`` option so that
+  the same code realizes both BMPS (explicit SVD) and IBMPS (implicit
+  randomized SVD).
+"""
+
+from repro.mps.mps import MPS
+from repro.mps.mpo import MPO
+from repro.mps.apply import apply_mpo_exact, apply_mpo_zipup
+
+__all__ = ["MPS", "MPO", "apply_mpo_exact", "apply_mpo_zipup"]

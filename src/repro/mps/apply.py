@@ -1,0 +1,114 @@
+"""Applying an MPO to an MPS: exact and zip-up (Algorithm 3) variants.
+
+The zip-up variant performs one ``einsumsvd`` per site while sweeping left to
+right, truncating the new bond to ``max_bond`` as it goes (Figure 5 of the
+paper).  The ``einsumsvd`` option decides the flavour:
+
+* :class:`~repro.tensornetwork.einsumsvd.ExplicitSVD` → the baseline BMPS
+  truncation (materialize the merged tensor, SVD it),
+* :class:`~repro.tensornetwork.einsumsvd.ImplicitRandomizedSVD` → the
+  paper's IBMPS: the merged tensor is never formed, the randomized SVD
+  queries the uncontracted network ``{working tensor, MPS site, MPO site}``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mps.mpo import MPO
+from repro.mps.mps import MPS
+from repro.tensornetwork.einsumsvd import EinsumSVDOption, ExplicitSVD, einsumsvd
+
+
+def apply_mpo_exact(mps: MPS, mpo: MPO) -> MPS:
+    """Apply an MPO to an MPS exactly (bond dimensions multiply).
+
+    Used by the exact PEPS contraction algorithm; the bond dimension of the
+    result is the product of the MPS and MPO bond dimensions, so cost and
+    memory grow exponentially with the number of applications.
+    """
+    if len(mps) != len(mpo):
+        raise ValueError(
+            f"MPS has {len(mps)} sites but MPO has {len(mpo)}; they must match"
+        )
+    b = mps.backend
+    new_tensors = []
+    for s, o in zip(mps.tensors, mpo.tensors):
+        # s: (a, p, a'), o: (b, q, p, b') -> (a, b, q, a', b') -> ((ab), q, (a'b'))
+        merged = b.einsum("apc,bqpd->abqcd", s, o)
+        sa, sb, sq, sc, sd = b.shape(merged)
+        new_tensors.append(b.reshape(merged, (sa * sb, sq, sc * sd)))
+    return MPS(new_tensors, b)
+
+
+def apply_mpo_zipup(
+    mps: MPS,
+    mpo: MPO,
+    max_bond: Optional[int] = None,
+    option: Optional[EinsumSVDOption] = None,
+) -> MPS:
+    """Apply an MPO to an MPS approximately by the zip-up algorithm (Algorithm 3).
+
+    Parameters
+    ----------
+    mps, mpo:
+        The operands (same number of sites).
+    max_bond:
+        Truncation bond dimension ``m``; ``None`` keeps the full rank at each
+        step (still cheaper in memory than :func:`apply_mpo_exact` because the
+        bond is re-factorized site by site).
+    option:
+        ``einsumsvd`` algorithm option.  Its ``rank`` is overridden by
+        ``max_bond`` when the latter is given.
+    """
+    if len(mps) != len(mpo):
+        raise ValueError(
+            f"MPS has {len(mps)} sites but MPO has {len(mpo)}; they must match"
+        )
+    b = mps.backend
+    option = option if option is not None else ExplicitSVD()
+    n = len(mps)
+
+    if n == 1:
+        s, o = mps.tensors[0], mpo.tensors[0]
+        merged = b.einsum("apc,bqpd->abqcd", s, o)
+        sa, sb, sq, sc, sd = b.shape(merged)
+        return MPS([b.reshape(merged, (sa * sb, sq, sc * sd))], b)
+
+    new_tensors = []
+    # Step 1: contract the first MPS and MPO sites.  Working tensor carries a
+    # dummy left bond so the loop below is uniform:
+    #   working: (c, q, a, b) = (new bond, out phys, MPS right bond, MPO right bond)
+    s0, o0 = mps.tensors[0], mpo.tensors[0]
+    working = b.einsum("apc,bqpd->qcd", s0, o0)
+    q0, c0, d0 = b.shape(working)
+    working = b.reshape(working, (1, q0, c0, d0))
+
+    for i in range(1, n):
+        s, o = mps.tensors[i], mpo.tensors[i]
+        # einsumsvd over the network {working, S(i), O(i)}:
+        #   working: c q a b ; S(i): a p e ; O(i): b f p g
+        #   left factor (new MPS site i-1): c q k
+        #   right factor (next working):    k f e g
+        rank = max_bond
+        left, right = einsumsvd(
+            "cqab,ape,bfpg->cqk,kfeg",
+            working,
+            s,
+            o,
+            option=option,
+            backend=b,
+            rank=rank,
+        )
+        new_tensors.append(left)
+        working = right
+
+    # The final working tensor has trailing unit bonds; fold it into the last site.
+    k, f, e, g = b.shape(working)
+    if e != 1 or g != 1:
+        raise RuntimeError(
+            f"zip-up ended with non-trivial right bonds ({e}, {g}); "
+            f"the input MPS/MPO outer bonds must be 1"
+        )
+    new_tensors.append(b.reshape(working, (k, f, e * g)))
+    return MPS(new_tensors, b)

@@ -1,0 +1,124 @@
+"""Matrix product operators.
+
+An :class:`MPO` over ``n`` sites stores tensors with index order
+``(left bond, out physical, in physical, right bond)``.  In PEPS contraction
+the MPOs are rows of the lattice: the "in" leg contracts with the boundary
+MPS coming from above (the PEPS up leg), the "out" leg becomes the new
+boundary physical leg (the PEPS down leg).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.backends import get_backend
+from repro.backends.interface import Backend
+
+
+class MPO:
+    """A matrix product operator."""
+
+    def __init__(self, tensors: Sequence, backend: Union[str, Backend, None] = "numpy") -> None:
+        self.backend = get_backend(backend)
+        self.tensors: List = list(tensors)
+        if not self.tensors:
+            raise ValueError("an MPO needs at least one site tensor")
+        for i, t in enumerate(self.tensors):
+            shape = self.backend.shape(t)
+            if len(shape) != 4:
+                raise ValueError(
+                    f"MPO site {i} must have 4 modes (left, out, in, right), got shape {shape}"
+                )
+        self._validate_bonds()
+
+    def _validate_bonds(self) -> None:
+        shapes = [self.backend.shape(t) for t in self.tensors]
+        if shapes[0][0] != 1 or shapes[-1][3] != 1:
+            raise ValueError(
+                f"outer bonds of an MPO must have dimension 1, got {shapes[0][0]} and {shapes[-1][3]}"
+            )
+        for i in range(len(shapes) - 1):
+            if shapes[i][3] != shapes[i + 1][0]:
+                raise ValueError(
+                    f"bond mismatch between MPO sites {i} and {i + 1}: "
+                    f"{shapes[i][3]} vs {shapes[i + 1][0]}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def identity(
+        cls,
+        n_sites: int,
+        phys_dim: int = 2,
+        backend: Union[str, Backend, None] = "numpy",
+    ) -> "MPO":
+        """The identity operator as a bond-dimension-1 MPO."""
+        backend = get_backend(backend)
+        eye = np.eye(phys_dim, dtype=np.complex128).reshape(1, phys_dim, phys_dim, 1)
+        return cls([backend.astensor(eye) for _ in range(n_sites)], backend)
+
+    @classmethod
+    def from_site_matrices(
+        cls,
+        matrices: Sequence[np.ndarray],
+        backend: Union[str, Backend, None] = "numpy",
+    ) -> "MPO":
+        """Tensor product of independent single-site operators (bond dimension 1)."""
+        backend = get_backend(backend)
+        tensors = []
+        for mat in matrices:
+            mat = np.asarray(mat, dtype=np.complex128)
+            if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
+                raise ValueError(f"site operators must be square matrices, got shape {mat.shape}")
+            tensors.append(backend.astensor(mat.reshape(1, mat.shape[0], mat.shape[1], 1)))
+        return cls(tensors, backend)
+
+    # ------------------------------------------------------------------ #
+    # Structure
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.tensors)
+
+    @property
+    def n_sites(self) -> int:
+        return len(self.tensors)
+
+    def bond_dimensions(self) -> List[int]:
+        return [self.backend.shape(t)[3] for t in self.tensors[:-1]]
+
+    def physical_dimensions(self) -> List[int]:
+        """(out, in) physical dimensions per site."""
+        return [(self.backend.shape(t)[1], self.backend.shape(t)[2]) for t in self.tensors]
+
+    def copy(self) -> "MPO":
+        return MPO([self.backend.copy(t) for t in self.tensors], self.backend)
+
+    def conj(self) -> "MPO":
+        return MPO([self.backend.conj(t) for t in self.tensors], self.backend)
+
+    def to_dense(self) -> np.ndarray:
+        """Dense operator matrix (exponential; small MPOs only)."""
+        b = self.backend
+        arrs = [b.asarray(t) for t in self.tensors]
+        result = arrs[0]  # (1, o, i, r)
+        for arr in arrs[1:]:
+            result = np.tensordot(result, arr, axes=([result.ndim - 1], [0]))
+        # Collapse the unit outer bonds, interleave (out..., in...).
+        result = result.reshape(result.shape[1:-1])
+        n = len(self.tensors)
+        outs = [arrs[i].shape[1] for i in range(n)]
+        ins = [arrs[i].shape[2] for i in range(n)]
+        # Current mode order is (o1, i1, o2, i2, ...); bring all outs first.
+        perm = list(range(0, 2 * n, 2)) + list(range(1, 2 * n, 2))
+        result = result.transpose(perm)
+        return result.reshape(int(np.prod(outs)), int(np.prod(ins)))
+
+    def __repr__(self) -> str:
+        return (
+            f"MPO(n_sites={len(self)}, bonds={self.bond_dimensions()}, "
+            f"backend={self.backend.name!r})"
+        )

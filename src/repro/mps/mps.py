@@ -1,0 +1,286 @@
+"""Matrix product states.
+
+An :class:`MPS` over ``n`` sites stores ``n`` backend tensors with index
+order ``(left bond, physical, right bond)``; the outermost bonds have
+dimension 1.  Physical dimensions may vary per site (boundary MPSes arising
+in PEPS contraction have physical legs equal to the PEPS bond dimension of
+the row below them, and the closing boundary has physical dimension 1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.backends import get_backend
+from repro.backends.interface import Backend
+from repro.linalg.truncated_svd import truncated_svd
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+class MPS:
+    """A matrix product state (or boundary MPS without physical meaning)."""
+
+    def __init__(self, tensors: Sequence, backend: Union[str, Backend, None] = "numpy") -> None:
+        self.backend = get_backend(backend)
+        self.tensors: List = list(tensors)
+        if not self.tensors:
+            raise ValueError("an MPS needs at least one site tensor")
+        for i, t in enumerate(self.tensors):
+            shape = self.backend.shape(t)
+            if len(shape) != 3:
+                raise ValueError(
+                    f"MPS site {i} must have 3 modes (left, phys, right), got shape {shape}"
+                )
+        self._validate_bonds()
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def product_state(
+        cls,
+        vectors: Sequence[Sequence[complex]],
+        backend: Union[str, Backend, None] = "numpy",
+    ) -> "MPS":
+        """Product state from one local vector per site (bond dimension 1)."""
+        backend = get_backend(backend)
+        tensors = []
+        for vec in vectors:
+            arr = np.asarray(vec, dtype=np.complex128).reshape(1, -1, 1)
+            tensors.append(backend.astensor(arr))
+        return cls(tensors, backend)
+
+    @classmethod
+    def computational_basis(
+        cls,
+        bits: Sequence[int],
+        phys_dim: int = 2,
+        backend: Union[str, Backend, None] = "numpy",
+    ) -> "MPS":
+        """The basis state ``|b_1 b_2 ... b_n>``."""
+        vectors = []
+        for b in bits:
+            v = np.zeros(phys_dim, dtype=np.complex128)
+            v[int(b)] = 1.0
+            vectors.append(v)
+        return cls.product_state(vectors, backend)
+
+    @classmethod
+    def identity_boundary(
+        cls,
+        n_sites: int,
+        backend: Union[str, Backend, None] = "numpy",
+    ) -> "MPS":
+        """The trivial boundary MPS of all-ones scalars (every leg has size 1).
+
+        Used as the starting environment when sweeping boundary MPSes over a
+        PEPS from outside the lattice.
+        """
+        backend = get_backend(backend)
+        one = backend.ones((1, 1, 1))
+        return cls([one] * n_sites, backend)
+
+    @classmethod
+    def random(
+        cls,
+        n_sites: int,
+        phys_dim: int = 2,
+        bond_dim: int = 2,
+        backend: Union[str, Backend, None] = "numpy",
+        rng: SeedLike = None,
+        normalize: bool = True,
+    ) -> "MPS":
+        """Random MPS with the given (maximal) bond dimension."""
+        backend = get_backend(backend)
+        rng = ensure_rng(rng)
+        tensors = []
+        left = 1
+        for i in range(n_sites):
+            right = bond_dim if i < n_sites - 1 else 1
+            # Cap the bond by what the exact state could need.
+            right = min(right, phys_dim ** (i + 1), phys_dim ** (n_sites - i - 1))
+            data = rng.standard_normal((left, phys_dim, right)) + 1j * rng.standard_normal(
+                (left, phys_dim, right)
+            )
+            tensors.append(backend.astensor(data / np.sqrt(left * phys_dim * right)))
+            left = right
+        mps = cls(tensors, backend)
+        if normalize:
+            nrm = mps.norm()
+            if nrm > 0:
+                mps.tensors[0] = mps.tensors[0] * (1.0 / nrm)
+        return mps
+
+    @classmethod
+    def from_dense(
+        cls,
+        state: np.ndarray,
+        phys_dims: Sequence[int],
+        backend: Union[str, Backend, None] = "numpy",
+        max_bond: Optional[int] = None,
+        cutoff: Optional[float] = None,
+    ) -> "MPS":
+        """Decompose a dense state tensor into an MPS by successive SVDs."""
+        backend = get_backend(backend)
+        phys_dims = [int(d) for d in phys_dims]
+        state = np.asarray(state, dtype=np.complex128).reshape(phys_dims)
+        n = len(phys_dims)
+        tensors = []
+        remainder = state.reshape(1, -1)
+        left = 1
+        for i in range(n - 1):
+            d = phys_dims[i]
+            matrix = remainder.reshape(left * d, -1)
+            result = truncated_svd(
+                backend, backend.astensor(matrix), rank=max_bond, cutoff=cutoff, absorb="right"
+            )
+            k = result.rank
+            tensors.append(backend.reshape(result.u, (left, d, k)))
+            remainder = backend.asarray(result.vh)
+            left = k
+        tensors.append(backend.astensor(remainder.reshape(left, phys_dims[-1], 1)))
+        return cls(tensors, backend)
+
+    # ------------------------------------------------------------------ #
+    # Structure
+    # ------------------------------------------------------------------ #
+    def _validate_bonds(self) -> None:
+        shapes = [self.backend.shape(t) for t in self.tensors]
+        if shapes[0][0] != 1 or shapes[-1][2] != 1:
+            raise ValueError(
+                f"outer bonds of an MPS must have dimension 1, got {shapes[0][0]} and {shapes[-1][2]}"
+            )
+        for i in range(len(shapes) - 1):
+            if shapes[i][2] != shapes[i + 1][0]:
+                raise ValueError(
+                    f"bond mismatch between sites {i} and {i + 1}: "
+                    f"{shapes[i][2]} vs {shapes[i + 1][0]}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.tensors)
+
+    @property
+    def n_sites(self) -> int:
+        return len(self.tensors)
+
+    def bond_dimensions(self) -> List[int]:
+        """Dimensions of the ``n_sites - 1`` internal bonds."""
+        return [self.backend.shape(t)[2] for t in self.tensors[:-1]]
+
+    def max_bond_dimension(self) -> int:
+        bonds = self.bond_dimensions()
+        return max(bonds) if bonds else 1
+
+    def physical_dimensions(self) -> List[int]:
+        return [self.backend.shape(t)[1] for t in self.tensors]
+
+    def copy(self) -> "MPS":
+        return MPS([self.backend.copy(t) for t in self.tensors], self.backend)
+
+    def conj(self) -> "MPS":
+        return MPS([self.backend.conj(t) for t in self.tensors], self.backend)
+
+    # ------------------------------------------------------------------ #
+    # Contractions
+    # ------------------------------------------------------------------ #
+    def inner(self, other: "MPS") -> complex:
+        """The inner product ``<self|other>`` (conjugating ``self``)."""
+        if len(other) != len(self):
+            raise ValueError("inner product requires MPSes of equal length")
+        b = self.backend
+        env = b.ones((1, 1))
+        for bra, ket in zip(self.tensors, other.tensors):
+            env = b.einsum("ab,apc,bpd->cd", env, b.conj(bra), ket)
+        return b.item(env)
+
+    def overlap(self, other: "MPS") -> complex:
+        """Bilinear overlap (no conjugation): used when closing a PEPS sandwich."""
+        if len(other) != len(self):
+            raise ValueError("overlap requires MPSes of equal length")
+        b = self.backend
+        env = b.ones((1, 1))
+        for upper, lower in zip(self.tensors, other.tensors):
+            env = b.einsum("ab,apc,bpd->cd", env, upper, lower)
+        return b.item(env)
+
+    def norm(self) -> float:
+        value = self.inner(self)
+        return float(np.sqrt(max(value.real, 0.0)))
+
+    def contract_to_scalar(self) -> complex:
+        """Contract an MPS whose physical legs all have dimension 1 to a scalar."""
+        b = self.backend
+        env = b.ones((1,))
+        for t in self.tensors:
+            shape = b.shape(t)
+            if shape[1] != 1:
+                raise ValueError(
+                    f"contract_to_scalar requires physical dimension 1, got {shape[1]}"
+                )
+            matrix = b.reshape(t, (shape[0], shape[2]))
+            env = b.einsum("a,ab->b", env, matrix)
+        return b.item(env)
+
+    def to_dense(self) -> np.ndarray:
+        """Full dense tensor with one mode per site (exponential; small MPS only)."""
+        b = self.backend
+        result = b.asarray(self.tensors[0])  # (1, d0, r0)
+        result = result.reshape(result.shape[1], result.shape[2])
+        for t in self.tensors[1:]:
+            arr = b.asarray(t)
+            result = np.tensordot(result, arr, axes=([result.ndim - 1], [0]))
+        return np.asarray(result).reshape([self.backend.shape(t)[1] for t in self.tensors])
+
+    # ------------------------------------------------------------------ #
+    # Canonicalization and compression
+    # ------------------------------------------------------------------ #
+    def canonicalize(self, center: int = -1) -> "MPS":
+        """Return a copy in mixed-canonical form with the given orthogonality center."""
+        n = len(self)
+        if center < 0:
+            center += n
+        if not (0 <= center < n):
+            raise ValueError(f"center {center} out of range for {n} sites")
+        b = self.backend
+        tensors = [b.copy(t) for t in self.tensors]
+        # Left-to-right QR sweep up to the center.
+        for i in range(center):
+            shape = b.shape(tensors[i])
+            matrix = b.reshape(tensors[i], (shape[0] * shape[1], shape[2]))
+            q, r = b.qr(matrix)
+            k = b.shape(q)[1]
+            tensors[i] = b.reshape(q, (shape[0], shape[1], k))
+            tensors[i + 1] = b.einsum("ab,bpc->apc", r, tensors[i + 1])
+        # Right-to-left sweep down to the center.
+        for i in range(n - 1, center, -1):
+            shape = b.shape(tensors[i])
+            matrix = b.reshape(tensors[i], (shape[0], shape[1] * shape[2]))
+            # QR of the transpose gives the right-orthogonal factor.
+            q, r = b.qr(b.transpose(matrix, (1, 0)))
+            k = b.shape(q)[1]
+            tensors[i] = b.reshape(b.transpose(q, (1, 0)), (k, shape[1], shape[2]))
+            tensors[i - 1] = b.einsum("apb,cb->apc", tensors[i - 1], r)
+        return MPS(tensors, b)
+
+    def compress(self, max_bond: Optional[int] = None, cutoff: Optional[float] = None) -> "MPS":
+        """Optimal truncation: canonicalize, then sweep with truncated SVDs."""
+        b = self.backend
+        mps = self.canonicalize(center=len(self) - 1)
+        tensors = mps.tensors
+        for i in range(len(tensors) - 1, 0, -1):
+            shape = b.shape(tensors[i])
+            matrix = b.reshape(tensors[i], (shape[0], shape[1] * shape[2]))
+            result = truncated_svd(b, matrix, rank=max_bond, cutoff=cutoff, absorb="left")
+            k = result.rank
+            tensors[i] = b.reshape(result.vh, (k, shape[1], shape[2]))
+            tensors[i - 1] = b.einsum("apb,bk->apk", tensors[i - 1], result.u)
+        return MPS(tensors, b)
+
+    def __repr__(self) -> str:
+        return (
+            f"MPS(n_sites={len(self)}, phys={self.physical_dimensions()}, "
+            f"bonds={self.bond_dimensions()}, backend={self.backend.name!r})"
+        )

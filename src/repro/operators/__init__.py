@@ -1,0 +1,22 @@
+"""Quantum gates, Pauli strings, observables and lattice Hamiltonians."""
+
+from repro.operators import gates
+from repro.operators.pauli import PauliString, pauli_matrix
+from repro.operators.observable import Observable
+from repro.operators.hamiltonians import (
+    Hamiltonian,
+    LocalTerm,
+    heisenberg_j1j2,
+    transverse_field_ising,
+)
+
+__all__ = [
+    "gates",
+    "PauliString",
+    "pauli_matrix",
+    "Observable",
+    "Hamiltonian",
+    "LocalTerm",
+    "heisenberg_j1j2",
+    "transverse_field_ising",
+]

@@ -1,0 +1,276 @@
+"""Lattice Hamiltonians as collections of local terms.
+
+A :class:`Hamiltonian` is a sum of :class:`LocalTerm` objects, each acting on
+one or two sites of a 2D square lattice (sites are flat row-major indices).
+Both driver applications of the paper are expressed this way:
+
+* :func:`heisenberg_j1j2` — the spin-1/2 J1-J2 Heisenberg model of Eq. (7),
+  with nearest-neighbour, diagonal next-nearest-neighbour and magnetic-field
+  terms (used for the imaginary-time-evolution study, Fig. 13),
+* :func:`transverse_field_ising` — the TFI model of Eq. (8) (used for the
+  VQE study, Fig. 14).
+
+:meth:`Hamiltonian.trotter_gates` produces the first-order Trotter-Suzuki
+gate sequence ``exp(-tau * H_j)`` consumed by TEBD/ITE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.operators.observable import Observable
+from repro.operators.pauli import PauliString, pauli_matrix
+
+_PAULI_LABELS = ("I", "X", "Y", "Z")
+
+
+@dataclass(frozen=True)
+class LocalTerm:
+    """A Hermitian operator acting on one or two lattice sites.
+
+    ``sites`` are flat row-major indices; ``matrix`` is 2x2 for one site or
+    4x4 for two sites, with the first listed site as the most significant
+    qubit.
+    """
+
+    sites: Tuple[int, ...]
+    matrix: np.ndarray
+
+    def __post_init__(self):
+        matrix = np.asarray(self.matrix, dtype=np.complex128)
+        expected = 2 ** len(self.sites)
+        if matrix.shape != (expected, expected):
+            raise ValueError(
+                f"term on sites {self.sites} needs a {expected}x{expected} matrix, "
+                f"got shape {matrix.shape}"
+            )
+        object.__setattr__(self, "matrix", matrix)
+
+    @property
+    def n_sites(self) -> int:
+        return len(self.sites)
+
+    def exponential(self, tau: complex) -> np.ndarray:
+        """``exp(tau * matrix)`` via eigendecomposition (the matrix is Hermitian)."""
+        evals, evecs = np.linalg.eigh(self.matrix)
+        return (evecs * np.exp(tau * evals)) @ evecs.conj().T
+
+
+class Hamiltonian:
+    """A sum of local terms on an ``nrow x ncol`` square lattice."""
+
+    def __init__(self, nrow: int, ncol: int, terms: Iterable[LocalTerm] = ()) -> None:
+        if nrow < 1 or ncol < 1:
+            raise ValueError(f"lattice dimensions must be positive, got {nrow}x{ncol}")
+        self.nrow = int(nrow)
+        self.ncol = int(ncol)
+        self.terms: List[LocalTerm] = []
+        for term in terms:
+            self.add_term(term)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @property
+    def n_sites(self) -> int:
+        return self.nrow * self.ncol
+
+    def site_index(self, row: int, col: int) -> int:
+        """Flat row-major index of lattice position ``(row, col)``."""
+        if not (0 <= row < self.nrow and 0 <= col < self.ncol):
+            raise ValueError(f"({row}, {col}) outside a {self.nrow}x{self.ncol} lattice")
+        return row * self.ncol + col
+
+    def add_term(self, term: LocalTerm) -> None:
+        for site in term.sites:
+            if not (0 <= site < self.n_sites):
+                raise ValueError(
+                    f"term site {site} outside the {self.nrow}x{self.ncol} lattice"
+                )
+        self.terms.append(term)
+
+    def add_one_site(self, site: int, matrix: np.ndarray) -> None:
+        self.add_term(LocalTerm((int(site),), matrix))
+
+    def add_two_site(self, site_a: int, site_b: int, matrix: np.ndarray) -> None:
+        self.add_term(LocalTerm((int(site_a), int(site_b)), matrix))
+
+    # ------------------------------------------------------------------ #
+    # Lattice geometry helpers
+    # ------------------------------------------------------------------ #
+    def nearest_neighbor_pairs(self) -> List[Tuple[int, int]]:
+        """All horizontally and vertically adjacent site pairs."""
+        pairs = []
+        for r in range(self.nrow):
+            for c in range(self.ncol):
+                if c + 1 < self.ncol:
+                    pairs.append((self.site_index(r, c), self.site_index(r, c + 1)))
+                if r + 1 < self.nrow:
+                    pairs.append((self.site_index(r, c), self.site_index(r + 1, c)))
+        return pairs
+
+    def diagonal_neighbor_pairs(self) -> List[Tuple[int, int]]:
+        """All diagonally adjacent site pairs (both diagonals)."""
+        pairs = []
+        for r in range(self.nrow - 1):
+            for c in range(self.ncol):
+                if c + 1 < self.ncol:
+                    pairs.append((self.site_index(r, c), self.site_index(r + 1, c + 1)))
+                if c - 1 >= 0:
+                    pairs.append((self.site_index(r, c), self.site_index(r + 1, c - 1)))
+        return pairs
+
+    # ------------------------------------------------------------------ #
+    # Conversions
+    # ------------------------------------------------------------------ #
+    def to_matrix(self) -> np.ndarray:
+        """Dense ``2^n x 2^n`` matrix (small lattices only)."""
+        n = self.n_sites
+        dim = 2**n
+        out = np.zeros((dim, dim), dtype=np.complex128)
+        for term in self.terms:
+            out += _embed_term(term, n)
+        return out
+
+    def to_observable(self) -> Observable:
+        """Pauli-string decomposition of the Hamiltonian."""
+        strings: List[PauliString] = []
+        for term in self.terms:
+            strings.extend(_pauli_decompose(term))
+        return Observable(strings).simplify(atol=1e-14)
+
+    def trotter_gates(self, tau: complex) -> List[Tuple[Tuple[int, ...], np.ndarray]]:
+        """First-order Trotter gates ``exp(tau * H_j)`` for every local term.
+
+        For imaginary time evolution pass ``tau = -dt`` (real); for real time
+        evolution pass ``tau = -1j * dt``.
+        """
+        return [(term.sites, term.exponential(tau)) for term in self.terms]
+
+    def ground_state_energy(self, k: int = 1) -> float:
+        """Exact smallest eigenvalue via sparse diagonalization (small lattices)."""
+        import scipy.sparse as sp
+        import scipy.sparse.linalg as spla
+
+        n = self.n_sites
+        if n > 20:
+            raise ValueError(f"exact diagonalization of {n} sites is not feasible")
+        dim = 2**n
+        matrix = sp.csr_matrix((dim, dim), dtype=np.complex128)
+        for term in self.terms:
+            matrix = matrix + sp.csr_matrix(_embed_term(term, n))
+        if dim <= 64:
+            evals = np.linalg.eigvalsh(matrix.toarray())
+            return float(evals[0])
+        evals = spla.eigsh(matrix, k=k, which="SA", return_eigenvectors=False)
+        return float(np.min(evals.real))
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def __repr__(self) -> str:
+        return f"Hamiltonian({self.nrow}x{self.ncol}, {len(self.terms)} terms)"
+
+
+def _embed_term(term: LocalTerm, n_sites: int) -> np.ndarray:
+    """Embed a local term into the full ``2^n`` Hilbert space (dense)."""
+    support = list(term.sites)
+    others = [s for s in range(n_sites) if s not in support]
+    # kron puts the support sites first; permute modes back to natural order.
+    mat = np.kron(term.matrix, np.eye(2 ** len(others), dtype=np.complex128))
+    tensor = mat.reshape((2,) * (2 * n_sites))
+    perm = np.argsort(support + others)
+    out_perm = list(perm)
+    in_perm = [n_sites + p for p in perm]
+    tensor = tensor.transpose(out_perm + in_perm)
+    return np.ascontiguousarray(tensor).reshape(2**n_sites, 2**n_sites)
+
+
+def _pauli_decompose(term: LocalTerm) -> List[PauliString]:
+    """Decompose a 1- or 2-site Hermitian matrix into Pauli strings."""
+    sites = term.sites
+    n = len(sites)
+    matrix = np.asarray(term.matrix)
+    strings: List[PauliString] = []
+    labels_iter = np.ndindex(*([4] * n))
+    for labels in labels_iter:
+        basis = np.array([[1.0]], dtype=np.complex128)
+        for idx in labels:
+            basis = np.kron(basis, pauli_matrix(_PAULI_LABELS[idx]))
+        coeff = np.trace(basis.conj().T @ matrix) / (2**n)
+        if abs(coeff) < 1e-14:
+            continue
+        paulis = {
+            site: _PAULI_LABELS[idx]
+            for site, idx in zip(sites, labels)
+            if _PAULI_LABELS[idx] != "I"
+        }
+        strings.append(PauliString.from_dict(paulis, coeff))
+    return strings
+
+
+# --------------------------------------------------------------------- #
+# Model builders
+# --------------------------------------------------------------------- #
+def heisenberg_j1j2(
+    nrow: int,
+    ncol: int,
+    j1: Sequence[float] = (1.0, 1.0, 1.0),
+    j2: Sequence[float] = (0.5, 0.5, 0.5),
+    field: Sequence[float] = (0.2, 0.2, 0.2),
+) -> Hamiltonian:
+    """The spin-1/2 J1-J2 Heisenberg model of Eq. (7).
+
+    Parameters
+    ----------
+    nrow, ncol:
+        Lattice dimensions.
+    j1:
+        ``(Jx1, Jy1, Jz1)`` nearest-neighbour couplings.
+    j2:
+        ``(Jx2, Jy2, Jz2)`` diagonal next-nearest-neighbour couplings.
+    field:
+        ``(hx, hy, hz)`` transverse/longitudinal field components.
+
+    The paper's Fig. 13 uses ``j1=(1,1,1)``, ``j2=(0.5,0.5,0.5)`` and
+    ``field=(0.2,0.2,0.2)`` on a 4x4 lattice.
+    """
+    x, y, z = pauli_matrix("X"), pauli_matrix("Y"), pauli_matrix("Z")
+    xx, yy, zz = np.kron(x, x), np.kron(y, y), np.kron(z, z)
+    ham = Hamiltonian(nrow, ncol)
+    jx1, jy1, jz1 = j1
+    jx2, jy2, jz2 = j2
+    hx, hy, hz = field
+    for a, b in ham.nearest_neighbor_pairs():
+        ham.add_two_site(a, b, jx1 * xx + jy1 * yy + jz1 * zz)
+    if any(abs(c) > 0 for c in j2):
+        for a, b in ham.diagonal_neighbor_pairs():
+            ham.add_two_site(a, b, jx2 * xx + jy2 * yy + jz2 * zz)
+    if any(abs(c) > 0 for c in field):
+        for s in range(ham.n_sites):
+            ham.add_one_site(s, hx * x + hy * y + hz * z)
+    return ham
+
+
+def transverse_field_ising(
+    nrow: int,
+    ncol: int,
+    jz: float = -1.0,
+    hx: float = -3.5,
+) -> Hamiltonian:
+    """The transverse-field Ising model of Eq. (8).
+
+    The paper's VQE study (Fig. 14) uses the ferromagnetic model with
+    ``jz = -1`` and ``hx = -3.5`` on a 3x3 lattice.
+    """
+    x, z = pauli_matrix("X"), pauli_matrix("Z")
+    zz = np.kron(z, z)
+    ham = Hamiltonian(nrow, ncol)
+    for a, b in ham.nearest_neighbor_pairs():
+        ham.add_two_site(a, b, jz * zz)
+    for s in range(ham.n_sites):
+        ham.add_one_site(s, hx * x)
+    return ham

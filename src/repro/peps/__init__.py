@@ -1,0 +1,66 @@
+"""PEPS states, evolution algorithms and contraction algorithms.
+
+The module-level constructors mirror the Koala API of the paper::
+
+    from repro import peps
+    from repro.peps import QRUpdate, BMPS
+    from repro.tensornetwork import ImplicitRandomizedSVD
+
+    qstate = peps.computational_zeros(nrow=2, ncol=3, backend="numpy")
+    qstate.apply_operator(Y, [1])
+    qstate.apply_operator(CX, [1, 4], QRUpdate(rank=2))
+    result = qstate.expectation(H, use_cache=True,
+                                contract_option=BMPS(ImplicitRandomizedSVD(rank=4)))
+"""
+
+from repro.peps.peps import (
+    PEPS,
+    computational_basis,
+    computational_ones,
+    computational_zeros,
+    product_state,
+    random_peps,
+    random_single_layer_grid,
+)
+from repro.peps.update import (
+    DirectUpdate,
+    QRUpdate,
+    LocalGramQRUpdate,
+    LocalGramQRSVDUpdate,
+    UpdateOption,
+)
+from repro.peps.contraction import (
+    BMPS,
+    ContractOption,
+    Exact,
+    TwoLayerBMPS,
+    contract_single_layer,
+)
+from repro.peps.expectation import (
+    EnvironmentCache,
+    expectation_value,
+    expectation_via_evolution,
+)
+
+__all__ = [
+    "PEPS",
+    "computational_basis",
+    "computational_ones",
+    "computational_zeros",
+    "product_state",
+    "random_peps",
+    "random_single_layer_grid",
+    "DirectUpdate",
+    "QRUpdate",
+    "LocalGramQRUpdate",
+    "LocalGramQRSVDUpdate",
+    "UpdateOption",
+    "BMPS",
+    "ContractOption",
+    "Exact",
+    "TwoLayerBMPS",
+    "contract_single_layer",
+    "EnvironmentCache",
+    "expectation_value",
+    "expectation_via_evolution",
+]

@@ -1,0 +1,49 @@
+"""PEPS contraction algorithms.
+
+The contraction of a PEPS network to a scalar (for amplitudes, norms, inner
+products and expectation values) is the computational bottleneck the paper
+targets.  This subpackage provides:
+
+* :mod:`~repro.peps.contraction.options` — option objects selecting the
+  algorithm (``Exact``, ``BMPS``, ``TwoLayerBMPS`` and the ``Snake``
+  convenience aliases used by the benchmarks),
+* :mod:`~repro.peps.contraction.single_layer` — contraction of a PEPS
+  *without physical legs* by exact row absorption or boundary-MPS
+  (Algorithm 2) with explicit or implicit ``einsumsvd`` (BMPS / IBMPS),
+* :mod:`~repro.peps.contraction.two_layer` — contraction of the
+  ``<bra|ket>`` sandwich keeping the two layers separate (two-layer
+  BMPS/IBMPS), plus the row-absorption primitives reused by the
+  expectation-value cache.
+"""
+
+from repro.peps.contraction.options import (
+    ContractOption,
+    Exact,
+    BMPS,
+    TwoLayerBMPS,
+)
+from repro.peps.contraction.single_layer import (
+    contract_single_layer,
+    single_layer_boundary_sweep,
+)
+from repro.peps.contraction.two_layer import (
+    contract_inner_two_layer,
+    contract_inner_fused,
+    absorb_sandwich_row,
+    trivial_boundary,
+    close_boundaries,
+)
+
+__all__ = [
+    "ContractOption",
+    "Exact",
+    "BMPS",
+    "TwoLayerBMPS",
+    "contract_single_layer",
+    "single_layer_boundary_sweep",
+    "contract_inner_two_layer",
+    "contract_inner_fused",
+    "absorb_sandwich_row",
+    "trivial_boundary",
+    "close_boundaries",
+]

@@ -1,0 +1,544 @@
+"""Projected entangled pair states (PEPS) on an ``nrow x ncol`` lattice.
+
+A :class:`PEPS` stores one backend tensor per lattice site with index order
+``(phys, up, left, down, right)``; legs pointing outside the lattice have
+dimension 1.  Sites are addressed either by ``(row, col)`` pairs or by flat
+row-major indices (the convention the paper's code listing uses, e.g.
+``qstate.apply_operator(CX, [1, 4])`` on a 2x3 lattice acts on the two
+vertically adjacent sites of column 1).
+
+The class provides the primitives of the Koala library: operator application
+with selectable update algorithms, amplitudes, norms, inner products,
+expectation values with optional intermediate caching, and circuit
+application.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.backends import get_backend
+from repro.backends.interface import Backend
+from repro.circuits.circuit import Circuit, Gate
+from repro.operators.hamiltonians import Hamiltonian
+from repro.operators.observable import Observable
+from repro.peps.contraction.options import BMPS, ContractOption, Exact, TwoLayerBMPS
+from repro.peps.contraction.single_layer import contract_single_layer
+from repro.peps.contraction.two_layer import (
+    contract_inner_fused,
+    contract_inner_two_layer,
+)
+from repro.peps.update import (
+    PHYS,
+    UP,
+    LEFT,
+    DOWN,
+    RIGHT,
+    DirectUpdate,
+    QRUpdate,
+    UpdateOption,
+    apply_single_site_operator,
+    apply_two_site_operator,
+)
+from repro.tensornetwork.network import contract_network
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+class PEPS:
+    """A PEPS quantum state on a 2D square lattice."""
+
+    def __init__(
+        self,
+        grid: Sequence[Sequence],
+        backend: Union[str, Backend, None] = "numpy",
+    ) -> None:
+        self.backend = get_backend(backend)
+        self.grid: List[List] = [list(row) for row in grid]
+        self.nrow = len(self.grid)
+        if self.nrow == 0:
+            raise ValueError("a PEPS needs at least one row")
+        self.ncol = len(self.grid[0])
+        for i, row in enumerate(self.grid):
+            if len(row) != self.ncol:
+                raise ValueError(
+                    f"row {i} has {len(row)} columns, expected {self.ncol}"
+                )
+        self._validate()
+
+    # ------------------------------------------------------------------ #
+    # Validation and indexing
+    # ------------------------------------------------------------------ #
+    def _validate(self) -> None:
+        b = self.backend
+        for i in range(self.nrow):
+            for j in range(self.ncol):
+                shape = b.shape(self.grid[i][j])
+                if len(shape) != 5:
+                    raise ValueError(
+                        f"site ({i}, {j}) must have 5 modes (phys, up, left, down, right), "
+                        f"got shape {shape}"
+                    )
+                if i == 0 and shape[UP] != 1:
+                    raise ValueError(f"site ({i}, {j}) top edge leg must have dimension 1")
+                if i == self.nrow - 1 and shape[DOWN] != 1:
+                    raise ValueError(f"site ({i}, {j}) bottom edge leg must have dimension 1")
+                if j == 0 and shape[LEFT] != 1:
+                    raise ValueError(f"site ({i}, {j}) left edge leg must have dimension 1")
+                if j == self.ncol - 1 and shape[RIGHT] != 1:
+                    raise ValueError(f"site ({i}, {j}) right edge leg must have dimension 1")
+                if i + 1 < self.nrow:
+                    below = b.shape(self.grid[i + 1][j])
+                    if shape[DOWN] != below[UP]:
+                        raise ValueError(
+                            f"vertical bond mismatch between ({i}, {j}) and ({i + 1}, {j}): "
+                            f"{shape[DOWN]} vs {below[UP]}"
+                        )
+                if j + 1 < self.ncol:
+                    right = b.shape(self.grid[i][j + 1])
+                    if shape[RIGHT] != right[LEFT]:
+                        raise ValueError(
+                            f"horizontal bond mismatch between ({i}, {j}) and ({i}, {j + 1}): "
+                            f"{shape[RIGHT]} vs {right[LEFT]}"
+                        )
+
+    @property
+    def n_sites(self) -> int:
+        return self.nrow * self.ncol
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.nrow, self.ncol)
+
+    def site_position(self, site: int) -> Tuple[int, int]:
+        """Convert a flat row-major site index into ``(row, col)``."""
+        if not (0 <= site < self.n_sites):
+            raise ValueError(f"site {site} outside a {self.nrow}x{self.ncol} lattice")
+        return divmod(int(site), self.ncol)
+
+    def site_index(self, row: int, col: int) -> int:
+        if not (0 <= row < self.nrow and 0 <= col < self.ncol):
+            raise ValueError(f"({row}, {col}) outside a {self.nrow}x{self.ncol} lattice")
+        return row * self.ncol + col
+
+    def __getitem__(self, position: Tuple[int, int]):
+        row, col = position
+        return self.grid[row][col]
+
+    def __setitem__(self, position: Tuple[int, int], tensor) -> None:
+        row, col = position
+        self.grid[row][col] = tensor
+
+    def physical_dimensions(self) -> List[List[int]]:
+        return [[self.backend.shape(t)[PHYS] for t in row] for row in self.grid]
+
+    def bond_dimensions(self) -> List[int]:
+        """All internal (horizontal and vertical) bond dimensions."""
+        b = self.backend
+        bonds = []
+        for i in range(self.nrow):
+            for j in range(self.ncol):
+                shape = b.shape(self.grid[i][j])
+                if j + 1 < self.ncol:
+                    bonds.append(shape[RIGHT])
+                if i + 1 < self.nrow:
+                    bonds.append(shape[DOWN])
+        return bonds
+
+    def max_bond_dimension(self) -> int:
+        bonds = self.bond_dimensions()
+        return max(bonds) if bonds else 1
+
+    def copy(self) -> "PEPS":
+        b = self.backend
+        return PEPS([[b.copy(t) for t in row] for row in self.grid], b)
+
+    def scale(self, factor: complex) -> "PEPS":
+        """Multiply the state by a scalar (applied to a single site tensor)."""
+        out = self.copy()
+        out.grid[0][0] = out.grid[0][0] * factor
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Operator application
+    # ------------------------------------------------------------------ #
+    def apply_operator(
+        self,
+        operator,
+        sites: Sequence[int],
+        update_option: Optional[UpdateOption] = None,
+    ) -> "PEPS":
+        """Apply a one- or two-site operator (in place) and return ``self``.
+
+        ``operator`` is a ``2^k x 2^k`` matrix (or the corresponding
+        ``(2,)*2k`` tensor for ``k = 2``); ``sites`` are flat row-major site
+        indices, the first being the operator's most significant qubit.
+        Two-site operators on non-adjacent sites are routed with SWAP chains.
+        """
+        sites = [int(s) for s in sites]
+        if len(sites) == 1:
+            row, col = self.site_position(sites[0])
+            self.grid[row][col] = apply_single_site_operator(
+                self.backend, self.grid[row][col], operator
+            )
+            return self
+        if len(sites) == 2:
+            return self._apply_two_site(operator, sites[0], sites[1], update_option)
+        raise ValueError(f"only 1- and 2-site operators are supported, got {len(sites)} sites")
+
+    def apply_gate(self, gate: Gate, update_option: Optional[UpdateOption] = None) -> "PEPS":
+        return self.apply_operator(gate.matrix, gate.qubits, update_option)
+
+    def apply_circuit(
+        self, circuit: Circuit, update_option: Optional[UpdateOption] = None
+    ) -> "PEPS":
+        if circuit.n_qubits != self.n_sites:
+            raise ValueError(
+                f"circuit acts on {circuit.n_qubits} qubits, the PEPS has {self.n_sites} sites"
+            )
+        for gate in circuit.gates:
+            self.apply_gate(gate, update_option)
+        return self
+
+    def _apply_two_site(
+        self,
+        operator,
+        site_a: int,
+        site_b: int,
+        update_option: Optional[UpdateOption],
+    ) -> "PEPS":
+        if site_a == site_b:
+            raise ValueError("a two-site operator needs two distinct sites")
+        (ra, ca), (rb, cb) = self.site_position(site_a), self.site_position(site_b)
+        if abs(ra - rb) + abs(ca - cb) == 1:
+            self._apply_adjacent(operator, (ra, ca), (rb, cb), update_option)
+            return self
+        # Non-adjacent: swap the first operand's qubit along a lattice path
+        # until it neighbours the second, apply, then undo the swaps.
+        path = self._lattice_path((ra, ca), (rb, cb))
+        swaps = list(zip(path[:-2], path[1:-1]))
+        swap_matrix = _swap_matrix()
+        for a, b in swaps:
+            self._apply_adjacent(swap_matrix, a, b, update_option)
+        self._apply_adjacent(operator, path[-2], (rb, cb), update_option)
+        for a, b in reversed(swaps):
+            self._apply_adjacent(swap_matrix, a, b, update_option)
+        return self
+
+    def _lattice_path(
+        self, start: Tuple[int, int], end: Tuple[int, int]
+    ) -> List[Tuple[int, int]]:
+        """A monotone lattice path from ``start`` to ``end`` (rows first)."""
+        path = [start]
+        r, c = start
+        while r != end[0]:
+            r += 1 if end[0] > r else -1
+            path.append((r, c))
+        while c != end[1]:
+            c += 1 if end[1] > c else -1
+            path.append((r, c))
+        return path
+
+    def _apply_adjacent(
+        self,
+        operator,
+        pos_a: Tuple[int, int],
+        pos_b: Tuple[int, int],
+        update_option: Optional[UpdateOption],
+    ) -> None:
+        (ra, ca), (rb, cb) = pos_a, pos_b
+        b = self.backend
+        gate = operator
+        if ra == rb:
+            if cb == ca + 1:
+                first, second, orientation, swapped = pos_a, pos_b, "horizontal", False
+            elif cb == ca - 1:
+                first, second, orientation, swapped = pos_b, pos_a, "horizontal", True
+            else:
+                raise ValueError(f"sites {pos_a} and {pos_b} are not adjacent")
+        elif ca == cb:
+            if rb == ra + 1:
+                first, second, orientation, swapped = pos_a, pos_b, "vertical", False
+            elif rb == ra - 1:
+                first, second, orientation, swapped = pos_b, pos_a, "vertical", True
+            else:
+                raise ValueError(f"sites {pos_a} and {pos_b} are not adjacent")
+        else:
+            raise ValueError(f"sites {pos_a} and {pos_b} are not adjacent")
+        if swapped:
+            gate = _swap_gate_qubits(b, gate)
+        new_a, new_b = apply_two_site_operator(
+            b,
+            self.grid[first[0]][first[1]],
+            self.grid[second[0]][second[1]],
+            gate,
+            orientation,
+            option=update_option if update_option is not None else QRUpdate(),
+        )
+        self.grid[first[0]][first[1]] = new_a
+        self.grid[second[0]][second[1]] = new_b
+
+    # ------------------------------------------------------------------ #
+    # Contractions
+    # ------------------------------------------------------------------ #
+    def amplitude(
+        self,
+        bits: Sequence[int],
+        contract_option: Optional[ContractOption] = None,
+    ) -> complex:
+        """The amplitude ``<bits|psi>`` (one-layer contraction).
+
+        ``bits`` is a flat row-major sequence of computational-basis values.
+        """
+        if len(bits) != self.n_sites:
+            raise ValueError(f"expected {self.n_sites} bits, got {len(bits)}")
+        b = self.backend
+        grid = []
+        for i in range(self.nrow):
+            row = []
+            for j in range(self.ncol):
+                tensor = self.grid[i][j]
+                d = b.shape(tensor)[PHYS]
+                value = int(bits[i * self.ncol + j])
+                if not (0 <= value < d):
+                    raise ValueError(f"basis value {value} outside physical dimension {d}")
+                selector = np.zeros(d, dtype=np.complex128)
+                selector[value] = 1.0
+                projected = b.einsum("puldr,p->uldr", tensor, b.astensor(selector))
+                row.append(projected)
+            grid.append(row)
+        option = contract_option if contract_option is not None else Exact()
+        if isinstance(option, TwoLayerBMPS):
+            # A projected PEPS has a single layer; fall back to the
+            # corresponding single-layer algorithm.
+            option = BMPS(option.svd_option, option.truncate_bond)
+        return contract_single_layer(grid, option=option, backend=b)
+
+    def inner(
+        self,
+        other: "PEPS",
+        contract_option: Optional[ContractOption] = None,
+    ) -> complex:
+        """The inner product ``<self|other>`` (two-layer contraction)."""
+        if other.shape != self.shape:
+            raise ValueError(f"shape mismatch: {self.shape} vs {other.shape}")
+        option = contract_option if contract_option is not None else TwoLayerBMPS()
+        if isinstance(option, TwoLayerBMPS):
+            return contract_inner_two_layer(self.grid, other.grid, option, self.backend)
+        return contract_inner_fused(self.grid, other.grid, option, self.backend)
+
+    def norm(self, contract_option: Optional[ContractOption] = None) -> float:
+        """``sqrt(<psi|psi>)``."""
+        value = self.inner(self, contract_option)
+        return float(np.sqrt(max(float(np.real(value)), 0.0)))
+
+    def normalize(self, contract_option: Optional[ContractOption] = None) -> "PEPS":
+        """Return a copy scaled to unit norm (scale spread over all sites)."""
+        nrm = self.norm(contract_option)
+        if nrm <= 0:
+            raise ValueError("cannot normalize a state with zero norm")
+        factor = nrm ** (-1.0 / self.n_sites)
+        out = self.copy()
+        for i in range(self.nrow):
+            for j in range(self.ncol):
+                out.grid[i][j] = out.grid[i][j] * factor
+        return out
+
+    def expectation(
+        self,
+        observable: Union[Observable, Hamiltonian],
+        use_cache: bool = True,
+        contract_option: Optional[ContractOption] = None,
+        normalized: bool = True,
+    ) -> float:
+        """Expectation value ``<psi|O|psi>`` (optionally divided by ``<psi|psi>``).
+
+        ``use_cache=True`` enables the intermediate caching strategy of
+        Section IV-B: boundary environments of the ``<psi|psi>`` sandwich are
+        computed once and shared across all local terms.
+        """
+        from repro.peps.expectation import expectation_value
+
+        return expectation_value(
+            self,
+            observable,
+            use_cache=use_cache,
+            contract_option=contract_option,
+            normalized=normalized,
+        )
+
+    def to_statevector(self) -> np.ndarray:
+        """Exact dense state (flat row-major qubit ordering; small lattices only)."""
+        if self.n_sites > 20:
+            raise ValueError(
+                f"dense conversion of a {self.nrow}x{self.ncol} PEPS is not feasible"
+            )
+        b = self.backend
+        operands = []
+        inputs = []
+        output = []
+        for i in range(self.nrow):
+            for j in range(self.ncol):
+                operands.append(self.grid[i][j])
+                labels = (
+                    ("p", i, j),
+                    ("v", i, j),        # up bond: between (i-1, j) and (i, j)
+                    ("h", i, j),        # left bond: between (i, j-1) and (i, j)
+                    ("v", i + 1, j),    # down bond
+                    ("h", i, j + 1),    # right bond
+                )
+                inputs.append(labels)
+                output.append(("p", i, j))
+        result = contract_network(operands, inputs, output, backend=b)
+        array = b.asarray(result)
+        return np.asarray(array, dtype=np.complex128).reshape(-1)
+
+    def __repr__(self) -> str:
+        return (
+            f"PEPS(shape={self.nrow}x{self.ncol}, max_bond={self.max_bond_dimension()}, "
+            f"backend={self.backend.name!r})"
+        )
+
+
+# --------------------------------------------------------------------- #
+# Constructors (module-level functions mirroring the Koala API live in
+# repro.peps.__init__; these classmethod-style helpers build the grids).
+# --------------------------------------------------------------------- #
+def _product_grid(vectors: Sequence[Sequence[complex]], nrow: int, ncol: int, backend: Backend):
+    grid = []
+    it = iter(vectors)
+    for i in range(nrow):
+        row = []
+        for j in range(ncol):
+            vec = np.asarray(next(it), dtype=np.complex128)
+            row.append(backend.astensor(vec.reshape(-1, 1, 1, 1, 1)))
+        grid.append(row)
+    return grid
+
+
+def product_state(
+    vectors: Sequence[Sequence[complex]],
+    nrow: int,
+    ncol: int,
+    backend: Union[str, Backend, None] = "numpy",
+) -> PEPS:
+    """A bond-dimension-1 PEPS from one local state vector per site (row-major)."""
+    backend = get_backend(backend)
+    vectors = list(vectors)
+    if len(vectors) != nrow * ncol:
+        raise ValueError(f"expected {nrow * ncol} site vectors, got {len(vectors)}")
+    return PEPS(_product_grid(vectors, nrow, ncol, backend), backend)
+
+
+def computational_basis(
+    bits: Sequence[int],
+    nrow: int,
+    ncol: int,
+    phys_dim: int = 2,
+    backend: Union[str, Backend, None] = "numpy",
+) -> PEPS:
+    """The computational basis state ``|bits>`` as a bond-dimension-1 PEPS."""
+    vectors = []
+    for bit in bits:
+        v = np.zeros(phys_dim, dtype=np.complex128)
+        v[int(bit)] = 1.0
+        vectors.append(v)
+    return product_state(vectors, nrow, ncol, backend)
+
+
+def computational_zeros(
+    nrow: int,
+    ncol: int,
+    phys_dim: int = 2,
+    backend: Union[str, Backend, None] = "numpy",
+) -> PEPS:
+    """The all-zeros state ``|00...0>``."""
+    return computational_basis([0] * (nrow * ncol), nrow, ncol, phys_dim, backend)
+
+
+def computational_ones(
+    nrow: int,
+    ncol: int,
+    phys_dim: int = 2,
+    backend: Union[str, Backend, None] = "numpy",
+) -> PEPS:
+    """The all-ones state ``|11...1>``."""
+    return computational_basis([1] * (nrow * ncol), nrow, ncol, phys_dim, backend)
+
+
+def random_peps(
+    nrow: int,
+    ncol: int,
+    bond_dim: int = 2,
+    phys_dim: int = 2,
+    backend: Union[str, Backend, None] = "numpy",
+    seed: SeedLike = None,
+    normalize_scale: bool = True,
+) -> PEPS:
+    """A PEPS with i.i.d. Gaussian entries and the given uniform bond dimension."""
+    backend = get_backend(backend)
+    rng = ensure_rng(seed)
+    grid = []
+    for i in range(nrow):
+        row = []
+        for j in range(ncol):
+            up = 1 if i == 0 else bond_dim
+            down = 1 if i == nrow - 1 else bond_dim
+            left = 1 if j == 0 else bond_dim
+            right = 1 if j == ncol - 1 else bond_dim
+            shape = (phys_dim, up, left, down, right)
+            data = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+            if normalize_scale:
+                data /= np.sqrt(np.prod(shape))
+            row.append(backend.astensor(data))
+        grid.append(row)
+    return PEPS(grid, backend)
+
+
+def random_single_layer_grid(
+    nrow: int,
+    ncol: int,
+    bond_dim: int = 2,
+    backend: Union[str, Backend, None] = "numpy",
+    seed: SeedLike = None,
+):
+    """A random single-layer grid (no physical legs), used by the contraction
+    benchmarks that "directly generate a PEPS without physical indices"."""
+    backend = get_backend(backend)
+    rng = ensure_rng(seed)
+    grid = []
+    for i in range(nrow):
+        row = []
+        for j in range(ncol):
+            up = 1 if i == 0 else bond_dim
+            down = 1 if i == nrow - 1 else bond_dim
+            left = 1 if j == 0 else bond_dim
+            right = 1 if j == ncol - 1 else bond_dim
+            shape = (up, left, down, right)
+            data = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+            data /= np.sqrt(np.prod(shape))
+            row.append(backend.astensor(data))
+        grid.append(row)
+    return grid
+
+
+def _swap_matrix() -> np.ndarray:
+    return np.array(
+        [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=np.complex128
+    )
+
+
+def _swap_gate_qubits(backend: Backend, operator):
+    """Exchange the two qubits of a two-site operator (matrix or 4-mode tensor)."""
+    op = backend.astensor(operator)
+    shape = backend.shape(op)
+    if len(shape) == 2:
+        d2 = shape[0]
+        d = int(np.sqrt(d2))
+        op = backend.reshape(op, (d, d, d, d))
+        op = backend.transpose(op, (1, 0, 3, 2))
+        return backend.reshape(op, (d2, d2))
+    if len(shape) == 4:
+        return backend.transpose(op, (1, 0, 3, 2))
+    raise ValueError(f"two-site operator must have 2 or 4 modes, got {len(shape)}")

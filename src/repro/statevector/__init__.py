@@ -1,0 +1,5 @@
+"""Exact statevector simulation (reference baseline for all accuracy studies)."""
+
+from repro.statevector.statevector import StateVector
+
+__all__ = ["StateVector"]

@@ -1,0 +1,241 @@
+"""Pairwise contraction-path search for tensor networks.
+
+The distributed backend and the cost model need to know, for an arbitrary
+einsum expression, (a) a good pairwise contraction order and (b) the flop and
+memory cost of executing it.  NumPy's built-in optimizer is only available
+for :class:`numpy.ndarray` operands, so this module provides a standalone
+implementation (greedy search with an exhaustive optimal search for small
+networks) that works purely on index metadata.  It plays the role
+``opt_einsum`` plays for the original Koala library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from math import prod
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.tensornetwork.einsum_spec import EinsumSpec, parse_einsum
+
+
+@dataclass
+class ContractionPathInfo:
+    """Result of a contraction-path search.
+
+    Attributes
+    ----------
+    path:
+        List of pairs of operand positions contracted at each step, in the
+        ``np.einsum_path`` convention (positions refer to the *current*
+        operand list, which shrinks as intermediates replace their inputs).
+    total_flops:
+        Estimated total floating-point operations (complex FMAs * 8).
+    max_intermediate_size:
+        Largest number of elements of any intermediate tensor.
+    steps:
+        For each step, the einsum subscripts of the pairwise contraction.
+    """
+
+    path: List[Tuple[int, ...]]
+    total_flops: float
+    max_intermediate_size: int
+    steps: List[str] = field(default_factory=list)
+
+
+def _term_size(term: Sequence[str], dims: Dict[str, int]) -> int:
+    return int(prod(dims[label] for label in term)) if term else 1
+
+
+def _pair_contract_indices(
+    term_a: Sequence[str],
+    term_b: Sequence[str],
+    other_labels: set,
+    output_labels: set,
+) -> Tuple[str, ...]:
+    """Result indices and flop weight of contracting two terms.
+
+    Indices shared by the pair that appear neither in the remaining operands
+    nor in the final output are summed over; everything else is kept.
+    """
+    keep = output_labels | other_labels
+    result = tuple(
+        label
+        for label in dict.fromkeys(tuple(term_a) + tuple(term_b))
+        if (label in keep)
+        or (label in term_a) != (label in term_b)  # uncontracted free index
+    )
+    return result
+
+
+def _pairwise_cost(
+    term_a: Sequence[str],
+    term_b: Sequence[str],
+    result: Sequence[str],
+    dims: Dict[str, int],
+) -> float:
+    all_labels = set(term_a) | set(term_b)
+    volume = prod(dims[label] for label in all_labels) if all_labels else 1
+    return 8.0 * float(volume)
+
+
+def find_path(
+    spec: Union[str, EinsumSpec],
+    shapes: Sequence[Sequence[int]],
+    strategy: str = "auto",
+    optimal_limit: int = 6,
+) -> ContractionPathInfo:
+    """Find a pairwise contraction path for an einsum expression.
+
+    Parameters
+    ----------
+    spec:
+        Einsum subscripts or a parsed :class:`EinsumSpec`.
+    shapes:
+        Shapes of the operands (used to weight the search).
+    strategy:
+        ``"greedy"``, ``"optimal"`` (exhaustive over pair orders), or
+        ``"auto"`` which uses the optimal search when there are at most
+        ``optimal_limit`` operands.
+    """
+    if isinstance(spec, str):
+        spec = parse_einsum(spec, n_operands=len(shapes))
+    dims = spec.index_dimensions(shapes)
+    n = len(spec.inputs)
+    if n == 0:
+        raise ValueError("cannot find a contraction path for zero operands")
+    if n == 1:
+        size = _term_size(spec.output, dims)
+        return ContractionPathInfo(path=[(0,)], total_flops=8.0 * size,
+                                   max_intermediate_size=size,
+                                   steps=["".join(spec.inputs[0]) + "->" + "".join(spec.output)])
+    if strategy == "auto":
+        strategy = "optimal" if n <= optimal_limit else "greedy"
+    if strategy == "greedy":
+        return _greedy_path(spec, dims)
+    if strategy == "optimal":
+        return _optimal_path(spec, dims)
+    raise ValueError(f"unknown path strategy {strategy!r}")
+
+
+def _execute_symbolically(
+    spec: EinsumSpec,
+    dims: Dict[str, int],
+    order: Sequence[Tuple[int, int]],
+) -> ContractionPathInfo:
+    """Compute cost metadata for a fixed sequence of pairwise contractions.
+
+    ``order`` refers to positions in the *current* operand list, matching the
+    ``np.einsum_path`` convention.
+    """
+    terms: List[Tuple[str, ...]] = [tuple(t) for t in spec.inputs]
+    output_labels = set(spec.output)
+    total_flops = 0.0
+    max_size = max((_term_size(t, dims) for t in terms), default=1)
+    path: List[Tuple[int, ...]] = []
+    steps: List[str] = []
+    for i, j in order:
+        if i == j:
+            raise ValueError("a contraction step must involve two distinct operands")
+        i, j = sorted((i, j))
+        term_a = terms[i]
+        term_b = terms[j]
+        remaining = [t for k, t in enumerate(terms) if k not in (i, j)]
+        other_labels = {label for t in remaining for label in t}
+        result = _pair_contract_indices(term_a, term_b, other_labels, output_labels)
+        total_flops += _pairwise_cost(term_a, term_b, result, dims)
+        max_size = max(max_size, _term_size(result, dims))
+        steps.append(f"{''.join(term_a)},{''.join(term_b)}->{''.join(result)}")
+        path.append((i, j))
+        terms = remaining + [result]
+    # Final single-operand reduction to the requested output ordering.
+    if len(terms) != 1:
+        raise RuntimeError("contraction order did not reduce the network to one tensor")
+    final = terms[0]
+    if set(final) - set(spec.output):
+        # Trailing sum over leftover indices (e.g. trace-like outputs).
+        total_flops += 8.0 * _term_size(final, dims)
+    return ContractionPathInfo(
+        path=path, total_flops=total_flops, max_intermediate_size=max_size, steps=steps
+    )
+
+
+def _greedy_path(spec: EinsumSpec, dims: Dict[str, int]) -> ContractionPathInfo:
+    """Greedy search: repeatedly contract the pair with the cheapest step cost,
+    breaking ties by the smallest resulting intermediate."""
+    terms: List[Tuple[str, ...]] = [tuple(t) for t in spec.inputs]
+    positions = list(range(len(terms)))
+    output_labels = set(spec.output)
+    order: List[Tuple[int, int]] = []
+    current: List[Tuple[str, ...]] = list(terms)
+    while len(current) > 1:
+        best = None
+        for i, j in combinations(range(len(current)), 2):
+            remaining = [t for k, t in enumerate(current) if k not in (i, j)]
+            other_labels = {label for t in remaining for label in t}
+            result = _pair_contract_indices(current[i], current[j], other_labels, output_labels)
+            cost = _pairwise_cost(current[i], current[j], result, dims)
+            size = _term_size(result, dims)
+            # Prefer pairs that actually share an index; contracting disjoint
+            # tensors (outer products) is only done when unavoidable.
+            shares = bool(set(current[i]) & set(current[j]))
+            key = (not shares, cost, size)
+            if best is None or key < best[0]:
+                best = (key, (i, j), result)
+        _, (i, j), result = best
+        order.append((i, j))
+        current = [t for k, t in enumerate(current) if k not in (i, j)] + [result]
+    return _execute_symbolically(spec, dims, order)
+
+
+def _optimal_path(spec: EinsumSpec, dims: Dict[str, int]) -> ContractionPathInfo:
+    """Exhaustive search over pairwise contraction orders (small networks only)."""
+    n = len(spec.inputs)
+    if n > 8:
+        # The search is factorial; silently fall back to greedy for big networks.
+        return _greedy_path(spec, dims)
+    output_labels = set(spec.output)
+
+    best_cost = [float("inf")]
+    best_order: List[List[Tuple[int, int]]] = [[]]
+
+    def recurse(current: List[Tuple[str, ...]], order: List[Tuple[int, int]], cost: float):
+        if cost >= best_cost[0]:
+            return
+        if len(current) == 1:
+            best_cost[0] = cost
+            best_order[0] = list(order)
+            return
+        for i, j in combinations(range(len(current)), 2):
+            remaining = [t for k, t in enumerate(current) if k not in (i, j)]
+            other_labels = {label for t in remaining for label in t}
+            result = _pair_contract_indices(current[i], current[j], other_labels, output_labels)
+            step_cost = _pairwise_cost(current[i], current[j], result, dims)
+            recurse(remaining + [result], order + [(i, j)], cost + step_cost)
+
+    recurse([tuple(t) for t in spec.inputs], [], 0.0)
+    return _execute_symbolically(spec, dims, best_order[0])
+
+
+def path_cost(
+    subscripts: Union[str, EinsumSpec],
+    shapes: Sequence[Sequence[int]],
+    strategy: str = "auto",
+) -> Tuple[float, int]:
+    """Convenience wrapper returning ``(total_flops, max_intermediate_size)``."""
+    info = find_path(subscripts, shapes, strategy=strategy)
+    return info.total_flops, info.max_intermediate_size
+
+
+def contract(subscripts: str, *operands, backend=None, strategy: str = "auto"):
+    """Contract a tensor network using a backend and an optimized path.
+
+    This is a thin convenience wrapper: it defers to ``backend.einsum`` which
+    each backend implements with its own path handling; for raw NumPy arrays
+    and no backend it calls :func:`numpy.einsum` with ``optimize=True``.
+    """
+    if backend is None:
+        import numpy as np
+
+        return np.einsum(subscripts, *operands, optimize=True)
+    return backend.einsum(subscripts, *operands)

@@ -1,0 +1,171 @@
+"""General tensor-network contraction with arbitrary (hashable) index labels.
+
+``backend.einsum`` is limited to the 52 single-letter subscripts NumPy
+supports, which is too few for whole-lattice networks (e.g. the strip
+networks appearing in expectation-value evaluation).  :func:`contract_network`
+removes that limitation: operands are annotated with tuples of *hashable*
+labels, a greedy pairwise path is chosen, and every pairwise step is executed
+through ``backend.einsum`` with letters assigned locally (a single pairwise
+contraction never involves more than a few dozen indices).
+
+This plays the role of an ``ncon``-style contractor built on top of the
+backend abstraction.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import prod
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.backends import get_backend
+from repro.backends.interface import Backend
+from repro.tensornetwork.einsum_spec import symbols
+
+Label = Hashable
+
+
+def _index_dims(
+    backend: Backend, operands: Sequence, inputs: Sequence[Sequence[Label]]
+) -> Dict[Label, int]:
+    dims: Dict[Label, int] = {}
+    if len(operands) != len(inputs):
+        raise ValueError(
+            f"{len(operands)} operands but {len(inputs)} label tuples were given"
+        )
+    for op, labels in zip(operands, inputs):
+        shape = backend.shape(op)
+        if len(shape) != len(labels):
+            raise ValueError(
+                f"operand with shape {shape} has {len(shape)} modes but "
+                f"{len(labels)} labels {tuple(labels)!r}"
+            )
+        for label, dim in zip(labels, shape):
+            dim = int(dim)
+            if label in dims and dims[label] != dim:
+                raise ValueError(
+                    f"label {label!r} has inconsistent dimensions {dims[label]} and {dim}"
+                )
+            dims.setdefault(label, dim)
+    return dims
+
+
+def _pair_result(
+    labels_a: Tuple[Label, ...],
+    labels_b: Tuple[Label, ...],
+    keep: set,
+) -> Tuple[Label, ...]:
+    """Labels surviving the contraction of a pair (order: a's free, then b's new free)."""
+    out: List[Label] = []
+    for label in labels_a:
+        if label in keep or (label not in labels_b):
+            out.append(label)
+    for label in labels_b:
+        if label in labels_a:
+            continue
+        out.append(label)
+    return tuple(out)
+
+
+def _contract_pair(
+    backend: Backend,
+    a,
+    labels_a: Tuple[Label, ...],
+    b,
+    labels_b: Tuple[Label, ...],
+    result_labels: Tuple[Label, ...],
+):
+    """Execute one pairwise contraction via backend.einsum with local letters."""
+    all_labels = list(dict.fromkeys(tuple(labels_a) + tuple(labels_b)))
+    letters = symbols(len(all_labels))
+    mapping = {label: letter for label, letter in zip(all_labels, letters)}
+    lhs_a = "".join(mapping[l] for l in labels_a)
+    lhs_b = "".join(mapping[l] for l in labels_b)
+    rhs = "".join(mapping[l] for l in result_labels)
+    return backend.einsum(f"{lhs_a},{lhs_b}->{rhs}", a, b)
+
+
+def contract_network(
+    operands: Sequence,
+    inputs: Sequence[Sequence[Label]],
+    output: Sequence[Label],
+    backend=None,
+):
+    """Contract a tensor network given label annotations.
+
+    Parameters
+    ----------
+    operands:
+        Backend tensors.
+    inputs:
+        For each operand, a tuple of hashable labels, one per mode.  Labels
+        shared between operands are contracted unless they appear in
+        ``output``.
+    output:
+        Labels (and their order) of the result.  Repeated labels are not
+        supported; labels appearing only in ``output`` are invalid.
+    backend:
+        Backend name or instance (defaults to NumPy).
+
+    Returns
+    -------
+    A backend tensor with one mode per output label (a scalar tensor when
+    ``output`` is empty — use ``backend.item`` to extract the value).
+    """
+    backend = get_backend(backend)
+    dims = _index_dims(backend, operands, inputs)
+    output = tuple(output)
+    for label in output:
+        if label not in dims:
+            raise ValueError(f"output label {label!r} does not appear in any operand")
+    if len(set(output)) != len(output):
+        raise ValueError(f"output labels must be unique, got {output!r}")
+
+    current = [(op, tuple(labels)) for op, labels in zip(operands, inputs)]
+    output_set = set(output)
+
+    if len(current) == 1:
+        tensor, labels = current[0]
+        return _finalize(backend, tensor, labels, output)
+
+    while len(current) > 1:
+        best = None
+        n = len(current)
+        for i, j in combinations(range(n), 2):
+            labels_a, labels_b = current[i][1], current[j][1]
+            shared = set(labels_a) & set(labels_b)
+            other_labels = {
+                label
+                for k, (_, labels) in enumerate(current)
+                if k not in (i, j)
+                for label in labels
+            }
+            keep = output_set | other_labels
+            result_labels = _pair_result(labels_a, labels_b, keep)
+            volume = prod(dims[l] for l in set(labels_a) | set(labels_b))
+            result_size = prod(dims[l] for l in result_labels) if result_labels else 1
+            key = (not bool(shared), volume, result_size)
+            if best is None or key < best[0]:
+                best = (key, i, j, result_labels)
+        _, i, j, result_labels = best
+        a, labels_a = current[i]
+        b, labels_b = current[j]
+        result = _contract_pair(backend, a, labels_a, b, labels_b, result_labels)
+        current = [entry for k, entry in enumerate(current) if k not in (i, j)]
+        current.append((result, result_labels))
+
+    tensor, labels = current[0]
+    return _finalize(backend, tensor, labels, output)
+
+
+def _finalize(backend: Backend, tensor, labels: Tuple[Label, ...], output: Tuple[Label, ...]):
+    """Sum over leftover labels and permute to the requested output order."""
+    extra = [l for l in labels if l not in output]
+    if extra or tuple(labels) != output:
+        all_labels = list(labels)
+        letters = symbols(len(all_labels))
+        mapping = {label: letter for label, letter in zip(all_labels, letters)}
+        lhs = "".join(mapping[l] for l in labels)
+        rhs = "".join(mapping[l] for l in output)
+        tensor = backend.einsum(f"{lhs}->{rhs}", tensor)
+    return tensor

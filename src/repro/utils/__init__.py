@@ -1,0 +1,25 @@
+"""Utility helpers: flop counting, timing, and reproducible random numbers."""
+
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.timer import Timer, WallClock
+from repro.utils.flops import (
+    contraction_flops,
+    svd_flops,
+    qr_flops,
+    eigh_flops,
+    matmul_flops,
+    FlopCounter,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rng",
+    "Timer",
+    "WallClock",
+    "contraction_flops",
+    "svd_flops",
+    "qr_flops",
+    "eigh_flops",
+    "matmul_flops",
+    "FlopCounter",
+]

@@ -1,0 +1,137 @@
+"""Floating-point operation estimates for dense tensor algebra.
+
+These estimates drive two things:
+
+* the distributed backend's cost model (simulated execution time), and
+* the Table II reproduction benchmark, which checks the measured scaling of
+  BMPS / IBMPS / two-layer IBMPS against the paper's asymptotic formulas.
+
+All counts are *order-of-magnitude* classical estimates (complex fused
+multiply-adds counted as a single "flop" scaled by a constant); they are not
+meant to match hardware counters exactly, only to preserve relative scaling.
+"""
+
+from __future__ import annotations
+
+from math import prod
+from typing import Dict, Iterable, Sequence, Tuple
+
+
+def matmul_flops(m: int, k: int, n: int, complex_dtype: bool = True) -> float:
+    """Flops of an (m x k) @ (k x n) dense matrix product."""
+    factor = 8.0 if complex_dtype else 2.0
+    return factor * m * k * n
+
+
+def contraction_flops(
+    shape_a: Sequence[int],
+    shape_b: Sequence[int],
+    contracted_a: Sequence[int],
+    contracted_b: Sequence[int],
+    complex_dtype: bool = True,
+) -> float:
+    """Flops of a pairwise tensor contraction.
+
+    ``contracted_a``/``contracted_b`` are the axes of each operand that are
+    summed over.  The estimate is the classical
+    ``(free_a) * (free_b) * (contracted)`` bilinear cost.
+    """
+    contracted_a = set(contracted_a)
+    contracted_b = set(contracted_b)
+    k_a = prod(shape_a[ax] for ax in contracted_a) if contracted_a else 1
+    k_b = prod(shape_b[ax] for ax in contracted_b) if contracted_b else 1
+    if k_a != k_b:
+        raise ValueError(
+            f"contracted volumes disagree: {k_a} vs {k_b} "
+            f"(shapes {tuple(shape_a)} / {tuple(shape_b)})"
+        )
+    m = prod(s for ax, s in enumerate(shape_a) if ax not in contracted_a)
+    n = prod(s for ax, s in enumerate(shape_b) if ax not in contracted_b)
+    return matmul_flops(m, k_a, n, complex_dtype=complex_dtype)
+
+
+def svd_flops(m: int, n: int, complex_dtype: bool = True) -> float:
+    """Approximate flops of a dense (economy) SVD of an m x n matrix."""
+    small, large = (m, n) if m <= n else (n, m)
+    factor = 4.0 if complex_dtype else 1.0
+    # Golub-Van Loan style estimate for an economy-size SVD.
+    return factor * (4.0 * large * small**2 + 8.0 * small**3)
+
+
+def qr_flops(m: int, n: int, complex_dtype: bool = True) -> float:
+    """Approximate flops of a Householder QR of an m x n matrix (m >= n)."""
+    if m < n:
+        m, n = n, m
+    factor = 4.0 if complex_dtype else 1.0
+    return factor * (2.0 * m * n**2 - (2.0 / 3.0) * n**3)
+
+
+def eigh_flops(n: int, complex_dtype: bool = True) -> float:
+    """Approximate flops of a Hermitian eigendecomposition of an n x n matrix."""
+    factor = 4.0 if complex_dtype else 1.0
+    return factor * (10.0 * n**3)
+
+
+class FlopCounter:
+    """Accumulates flop counts by category.
+
+    The NumPy backend can optionally be wrapped with a counter so that the
+    Table II benchmark measures *algorithmic* cost independently of machine
+    noise; the distributed backend always feeds one.
+    """
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+
+    def add(self, category: str, flops: float) -> None:
+        if flops < 0:
+            raise ValueError(f"negative flop count: {flops}")
+        self._totals[category] = self._totals.get(category, 0.0) + float(flops)
+
+    @property
+    def total(self) -> float:
+        return sum(self._totals.values())
+
+    def by_category(self) -> Dict[str, float]:
+        return dict(self._totals)
+
+    def reset(self) -> None:
+        self._totals.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        parts = ", ".join(f"{k}={v:.3g}" for k, v in sorted(self._totals.items()))
+        return f"FlopCounter(total={self.total:.3g}, {parts})"
+
+
+def tensor_bytes(shape: Iterable[int], itemsize: int = 16) -> int:
+    """Number of bytes of a dense tensor of the given shape.
+
+    The default ``itemsize`` corresponds to complex128, the working precision
+    used throughout the library.
+    """
+    return int(prod(shape)) * itemsize
+
+
+def peps_bmps_cost(n: int, r: int, m: int, d: int = 2) -> Dict[str, float]:
+    """Closed-form leading-order costs from Table II of the paper.
+
+    Parameters mirror the table: an ``n x n`` PEPS of bond dimension
+    ``sqrt(r)`` (so ``r`` is the *sandwich* bond dimension of the two-layer
+    network) contracted with truncation bond dimension ``m``; ``d`` is the
+    physical dimension.  Returns a dict with leading-order time complexities
+    ``bmps``, ``ibmps`` and ``two_layer_ibmps`` and the corresponding
+    ``*_space`` entries:
+
+    * BMPS time ``O(n^2 m^3 r^4)``, space ``O(max(m^2 r^3, r^4))``
+    * IBMPS time ``O(n^2 m^2 r^4 + n^2 m^3 r^2)``, space ``O(max(m^2 r^2, r^4))``
+    * two-layer IBMPS time ``O(n^2 d m^2 r^3 + n^2 d m^3 r^2)``,
+      space ``O(max(m^2 r^2, r^4))``
+    """
+    return {
+        "bmps": float(n**2) * m**3 * r**4,
+        "ibmps": float(n**2) * (m**2 * r**4 + m**3 * r**2),
+        "two_layer_ibmps": float(n**2) * d * (m**2 * r**3 + m**3 * r**2),
+        "bmps_space": float(max(m**2 * r**3, r**4)),
+        "ibmps_space": float(max(m**2 * r**2, r**4)),
+        "two_layer_ibmps_space": float(max(m**2 * r**2, r**4)),
+    }

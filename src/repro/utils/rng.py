@@ -1,0 +1,43 @@
+"""Reproducible random-number helpers.
+
+Every stochastic component of the library (randomized SVD probes, random
+quantum circuits, random PEPS/MPS initialization, VQE parameter
+initialization) accepts either a seed, an existing :class:`numpy.random.Generator`,
+or ``None``.  These helpers normalize that argument so the rest of the code
+only ever deals with `Generator` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh entropy), an integer seed, a ``SeedSequence`` or an
+        existing ``Generator`` (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(rng: np.random.Generator, n: int) -> list:
+    """Spawn ``n`` statistically independent child generators from ``rng``.
+
+    This is used when a driver (e.g. the random-circuit generator) needs to
+    hand independent streams to sub-components while remaining reproducible
+    under a single top-level seed.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of generators: {n}")
+    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,83 @@
+"""Small timing utilities used by the benchmark harnesses.
+
+The benchmarks report two notions of time:
+
+* real wall-clock time of the sequential NumPy execution, and
+* *simulated* time accumulated by the distributed backend's cost model
+  (see :mod:`repro.backends.distributed.cost_model`).
+
+:class:`Timer` accumulates named wall-clock segments; :class:`WallClock` is a
+trivial context manager for a single measurement.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+
+class WallClock:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Example
+    -------
+    >>> with WallClock() as clock:
+    ...     sum(range(10))
+    45
+    >>> clock.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = None
+
+    def __enter__(self) -> "WallClock":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+
+
+class Timer:
+    """Accumulate wall-clock time in named segments.
+
+    >>> timer = Timer()
+    >>> with timer.section("contract"):
+    ...     _ = sum(range(100))
+    >>> timer.total("contract") >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = defaultdict(float)
+        self._counts: Dict[str, int] = defaultdict(int)
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._totals[name] += time.perf_counter() - start
+            self._counts[name] += 1
+
+    def total(self, name: str) -> float:
+        """Total seconds accumulated under ``name``."""
+        return self._totals[name]
+
+    def count(self, name: str) -> int:
+        """Number of times the section ``name`` was entered."""
+        return self._counts[name]
+
+    def report(self) -> Dict[str, float]:
+        """A copy of all accumulated totals."""
+        return dict(self._totals)
+
+    def reset(self) -> None:
+        self._totals.clear()
+        self._counts.clear()

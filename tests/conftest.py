@@ -1,0 +1,36 @@
+"""Shared pytest fixtures."""
+
+import numpy as np
+import pytest
+
+from repro.backends import get_backend
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for test data."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def numpy_backend():
+    return get_backend("numpy")
+
+
+@pytest.fixture
+def dist_backend():
+    """A small simulated distributed backend (4 processes)."""
+    return get_backend("distributed", nprocs=4)
+
+
+@pytest.fixture(params=["numpy", "distributed"])
+def backend(request):
+    """Parametrized fixture running a test on both backends."""
+    if request.param == "numpy":
+        return get_backend("numpy")
+    return get_backend("distributed", nprocs=4)
+
+
+def random_complex(rng, shape):
+    """Helper used across test modules for complex test tensors."""
+    return rng.standard_normal(shape) + 1j * rng.standard_normal(shape)

@@ -1,0 +1,159 @@
+"""Tests for the NumPy backend implementation of the Backend protocol."""
+
+import numpy as np
+import pytest
+
+from repro.backends import get_backend
+from repro.backends.numpy_backend import NumPyBackend
+from repro.utils.flops import FlopCounter
+from tests.conftest import random_complex
+
+
+class TestRegistry:
+    def test_get_backend_default_is_numpy(self):
+        assert get_backend().name == "numpy"
+        assert get_backend(None).name == "numpy"
+
+    def test_get_backend_aliases(self):
+        assert get_backend("np").name == "numpy"
+        assert get_backend("ctf").name == "distributed"
+        assert get_backend("cyclops").name == "distributed"
+
+    def test_get_backend_passthrough_instance(self):
+        b = NumPyBackend()
+        assert get_backend(b) is b
+
+    def test_get_backend_instance_with_kwargs_raises(self):
+        with pytest.raises(ValueError):
+            get_backend(NumPyBackend(), nprocs=4)
+
+    def test_get_backend_unknown_raises(self):
+        with pytest.raises(ValueError):
+            get_backend("no-such-backend")
+        with pytest.raises(TypeError):
+            get_backend(42)
+
+
+class TestCreation:
+    def test_astensor_and_asarray_roundtrip(self, numpy_backend, rng):
+        data = random_complex(rng, (3, 4))
+        t = numpy_backend.astensor(data)
+        assert np.array_equal(numpy_backend.asarray(t), data)
+
+    def test_astensor_dtype_conversion(self, numpy_backend):
+        t = numpy_backend.astensor([[1, 2], [3, 4]], dtype=np.complex128)
+        assert numpy_backend.dtype(t) == np.complex128
+
+    def test_zeros_ones_eye(self, numpy_backend):
+        assert numpy_backend.norm(numpy_backend.zeros((3, 3))) == 0.0
+        assert numpy_backend.item(
+            numpy_backend.einsum("ij->", numpy_backend.ones((2, 2)))
+        ) == pytest.approx(4.0)
+        eye = numpy_backend.asarray(numpy_backend.eye(3))
+        assert np.allclose(eye, np.eye(3))
+
+    def test_random_uniform_range_and_determinism(self, numpy_backend):
+        a = numpy_backend.random_uniform((50,), -1, 1, rng=3)
+        b = numpy_backend.random_uniform((50,), -1, 1, rng=3)
+        assert np.array_equal(a, b)
+        assert np.all(np.abs(a.real) <= 1.0) and np.all(np.abs(a.imag) <= 1.0)
+
+    def test_random_uniform_real_dtype(self, numpy_backend):
+        a = numpy_backend.random_uniform((10,), dtype=np.float64, rng=0)
+        assert a.dtype == np.float64
+
+    def test_random_normal_scale(self, numpy_backend):
+        a = numpy_backend.random_normal((2000,), scale=0.5, rng=0)
+        assert abs(np.std(a.real) - 0.5) < 0.1
+
+
+class TestAlgebra:
+    def test_einsum_matches_numpy(self, numpy_backend, rng):
+        a = random_complex(rng, (3, 4))
+        b = random_complex(rng, (4, 5))
+        out = numpy_backend.einsum("ij,jk->ik", a, b)
+        assert np.allclose(out, a @ b)
+
+    def test_tensordot(self, numpy_backend, rng):
+        a = random_complex(rng, (3, 4, 5))
+        b = random_complex(rng, (5, 4, 2))
+        out = numpy_backend.tensordot(a, b, axes=([1, 2], [1, 0]))
+        ref = np.tensordot(a, b, axes=([1, 2], [1, 0]))
+        assert np.allclose(out, ref)
+
+    def test_reshape_transpose_conj_copy(self, numpy_backend, rng):
+        a = random_complex(rng, (2, 3, 4))
+        r = numpy_backend.reshape(a, (6, 4))
+        assert numpy_backend.shape(r) == (6, 4)
+        t = numpy_backend.transpose(a, (2, 0, 1))
+        assert numpy_backend.shape(t) == (4, 2, 3)
+        assert np.allclose(numpy_backend.conj(a), a.conj())
+        c = numpy_backend.copy(a)
+        c[0, 0, 0] = 99.0
+        assert a[0, 0, 0] != 99.0
+
+    def test_norm_and_item(self, numpy_backend, rng):
+        a = random_complex(rng, (7, 3))
+        assert numpy_backend.norm(a) == pytest.approx(np.linalg.norm(a))
+        assert numpy_backend.item(np.array([[2.5 + 1j]])) == 2.5 + 1j
+        with pytest.raises(ValueError):
+            numpy_backend.item(a)
+
+
+class TestFactorizations:
+    def test_svd_reconstruction(self, numpy_backend, rng):
+        a = random_complex(rng, (8, 5))
+        u, s, vh = numpy_backend.svd(a)
+        assert np.allclose(u @ np.diag(s) @ vh, a)
+        assert np.all(np.diff(s) <= 1e-12)  # descending
+
+    def test_svd_requires_matrix(self, numpy_backend, rng):
+        with pytest.raises(ValueError):
+            numpy_backend.svd(random_complex(rng, (2, 2, 2)))
+
+    def test_qr_reconstruction_and_orthogonality(self, numpy_backend, rng):
+        a = random_complex(rng, (9, 4))
+        q, r = numpy_backend.qr(a)
+        assert np.allclose(q @ r, a)
+        assert np.allclose(q.conj().T @ q, np.eye(4), atol=1e-12)
+
+    def test_eigh_reconstruction(self, numpy_backend, rng):
+        a = random_complex(rng, (6, 6))
+        h = a + a.conj().T
+        w, v = numpy_backend.eigh(h)
+        assert np.allclose(v @ np.diag(w) @ v.conj().T, h)
+
+    def test_eigh_requires_square(self, numpy_backend, rng):
+        with pytest.raises(ValueError):
+            numpy_backend.eigh(random_complex(rng, (3, 4)))
+
+    def test_flop_counter_integration(self, rng):
+        counter = FlopCounter()
+        backend = NumPyBackend(flop_counter=counter)
+        a = random_complex(rng, (10, 10))
+        backend.einsum("ij,jk->ik", a, a)
+        backend.svd(a)
+        backend.qr(a)
+        backend.eigh(a + a.conj().T)
+        cats = counter.by_category()
+        assert set(cats) == {"einsum", "svd", "qr", "eigh"}
+        assert all(v > 0 for v in cats.values())
+
+
+class TestDerivedHelpers:
+    def test_shape_ndim_size(self, numpy_backend, rng):
+        a = random_complex(rng, (2, 3, 4))
+        assert numpy_backend.shape(a) == (2, 3, 4)
+        assert numpy_backend.ndim(a) == 3
+        assert numpy_backend.size(a) == 24
+
+    def test_diag_and_allclose(self, numpy_backend):
+        d = numpy_backend.diag(np.array([1.0, 2.0, 3.0]))
+        assert np.allclose(d, np.diag([1.0, 2.0, 3.0]))
+        assert numpy_backend.allclose(d, np.diag([1.0, 2.0, 3.0]))
+        assert not numpy_backend.allclose(d, np.eye(3))
+
+    def test_to_local_from_local_are_identity(self, numpy_backend, rng):
+        a = random_complex(rng, (3, 3))
+        assert np.array_equal(numpy_backend.to_local(a), a)
+        assert np.array_equal(numpy_backend.from_local(a), a)

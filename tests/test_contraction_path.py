@@ -1,0 +1,150 @@
+"""Tests for the contraction-path search and the general network contractor."""
+
+import numpy as np
+import pytest
+
+from repro.tensornetwork.contraction_path import contract, find_path, path_cost
+from repro.tensornetwork.network import contract_network
+from tests.conftest import random_complex
+
+
+class TestFindPath:
+    def test_two_operand_chain(self):
+        info = find_path("ij,jk->ik", [(10, 20), (20, 30)])
+        assert info.path == [(0, 1)]
+        assert info.total_flops == 8.0 * 10 * 20 * 30
+        # Peak size accounts for operands as well as intermediates.
+        assert info.max_intermediate_size == 20 * 30
+
+    def test_matrix_chain_prefers_cheap_order(self):
+        # (A(2x1000) B(1000x2)) C(2x1000): contracting A,B first is far cheaper.
+        info = find_path("ij,jk,kl->il", [(2, 1000), (1000, 2), (2, 1000)], strategy="greedy")
+        assert info.path[0] == (0, 1)
+
+    def test_optimal_not_worse_than_greedy(self):
+        shapes = [(8, 4), (4, 16), (16, 2), (2, 32)]
+        greedy = find_path("ab,bc,cd,de->ae", shapes, strategy="greedy")
+        optimal = find_path("ab,bc,cd,de->ae", shapes, strategy="optimal")
+        assert optimal.total_flops <= greedy.total_flops
+
+    def test_auto_uses_optimal_for_small_networks(self):
+        shapes = [(4, 4), (4, 4), (4, 4)]
+        auto = find_path("ab,bc,cd->ad", shapes, strategy="auto")
+        optimal = find_path("ab,bc,cd->ad", shapes, strategy="optimal")
+        assert auto.total_flops == optimal.total_flops
+
+    def test_single_operand(self):
+        info = find_path("ijk->ik", [(2, 3, 4)])
+        assert info.path == [(0,)]
+
+    def test_hyperedge_shared_by_three_tensors(self):
+        # Index j appears in three operands; it must survive until the last
+        # pairwise contraction involving it.
+        info = find_path("ij,jk,jl->ikl", [(2, 3), (3, 4), (3, 5)])
+        value_shapes = [(2, 3), (3, 4), (3, 5)]
+        rng = np.random.default_rng(0)
+        tensors = [rng.standard_normal(s) for s in value_shapes]
+        ref = np.einsum("ij,jk,jl->ikl", *tensors)
+        assert ref.shape == (2, 4, 5)
+        assert info.total_flops > 0
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(ValueError):
+            find_path("ij,jk->ik", [(2, 2), (2, 2)], strategy="magic")
+
+    def test_path_cost_wrapper(self):
+        flops, size = path_cost("ij,jk->ik", [(5, 5), (5, 5)])
+        assert flops == 8.0 * 125
+        assert size == 25
+
+    def test_steps_recorded(self):
+        info = find_path("ab,bc,cd->ad", [(2, 3), (3, 4), (4, 5)])
+        assert len(info.steps) == 2
+        assert all("->" in s for s in info.steps)
+
+
+class TestContractHelper:
+    def test_contract_without_backend(self, rng):
+        a = random_complex(rng, (3, 4))
+        b = random_complex(rng, (4, 5))
+        assert np.allclose(contract("ij,jk->ik", a, b), a @ b)
+
+    def test_contract_with_backend(self, numpy_backend, rng):
+        a = random_complex(rng, (3, 4))
+        assert np.allclose(contract("ij->ji", a, backend=numpy_backend), a.T)
+
+
+class TestContractNetwork:
+    def test_matches_einsum_three_tensors(self, backend, rng):
+        a = random_complex(rng, (3, 4))
+        b = random_complex(rng, (4, 5))
+        c = random_complex(rng, (5, 2))
+        out = contract_network(
+            [backend.astensor(a), backend.astensor(b), backend.astensor(c)],
+            [("i", "j"), ("j", "k"), ("k", "l")],
+            ("i", "l"),
+            backend=backend,
+        )
+        assert np.allclose(backend.asarray(out), a @ b @ c)
+
+    def test_arbitrary_hashable_labels(self, numpy_backend, rng):
+        a = random_complex(rng, (2, 3))
+        b = random_complex(rng, (3, 2))
+        out = contract_network(
+            [a, b],
+            [((0, "row"), ("bond", 7)), (("bond", 7), (1, "col"))],
+            ((0, "row"), (1, "col")),
+            backend=numpy_backend,
+        )
+        assert np.allclose(out, a @ b)
+
+    def test_more_labels_than_einsum_alphabet(self, numpy_backend, rng):
+        # A chain of 30 matrices has 31 distinct indices in total; single-call
+        # einsum would be fine, but with 60 the alphabet runs out -- the
+        # network contractor must still work because each pairwise step only
+        # sees a handful of labels.
+        n = 60
+        mats = [random_complex(rng, (2, 2)) for _ in range(n)]
+        operands = mats
+        inputs = [((i,), (i + 1,)) for i in range(n)]
+        out = contract_network(operands, inputs, ((0,), (n,)), backend=numpy_backend)
+        ref = mats[0]
+        for m in mats[1:]:
+            ref = ref @ m
+        assert np.allclose(out, ref)
+
+    def test_scalar_output(self, numpy_backend, rng):
+        a = random_complex(rng, (4,))
+        b = random_complex(rng, (4,))
+        out = contract_network([a, b], [("i",), ("i",)], (), backend=numpy_backend)
+        assert numpy_backend.item(out) == pytest.approx(np.sum(a * b))
+
+    def test_sums_over_dangling_unit_labels(self, numpy_backend, rng):
+        a = random_complex(rng, (3, 1))
+        out = contract_network([a], [("i", "dangling")], ("i",), backend=numpy_backend)
+        assert np.allclose(out, a[:, 0])
+
+    def test_output_order_respected(self, numpy_backend, rng):
+        a = random_complex(rng, (2, 3, 4))
+        out = contract_network([a], [("x", "y", "z")], ("z", "x", "y"), backend=numpy_backend)
+        assert out.shape == (4, 2, 3)
+        assert np.allclose(out, a.transpose(2, 0, 1))
+
+    def test_single_operand_identity(self, numpy_backend, rng):
+        a = random_complex(rng, (3, 4))
+        out = contract_network([a], [("i", "j")], ("i", "j"), backend=numpy_backend)
+        assert np.allclose(out, a)
+
+    def test_errors(self, numpy_backend, rng):
+        a = random_complex(rng, (2, 2))
+        with pytest.raises(ValueError):
+            contract_network([a], [("i",)], ("i",), backend=numpy_backend)  # wrong arity
+        with pytest.raises(ValueError):
+            contract_network([a], [("i", "j")], ("q",), backend=numpy_backend)  # unknown output
+        with pytest.raises(ValueError):
+            contract_network([a], [("i", "j")], ("i", "i"), backend=numpy_backend)  # repeated
+        with pytest.raises(ValueError):
+            contract_network([a, a], [("i", "j")], ("i",), backend=numpy_backend)  # count mismatch
+        b = random_complex(rng, (3, 3))
+        with pytest.raises(ValueError):
+            contract_network([a, b], [("i", "j"), ("j", "k")], ("i", "k"), backend=numpy_backend)

@@ -1,0 +1,160 @@
+"""Tests for the einsumsvd primitive (explicit and implicit implementations)."""
+
+import numpy as np
+import pytest
+
+from repro.tensornetwork import (
+    EinsumSVDOption,
+    ExplicitSVD,
+    ImplicitRandomizedSVD,
+    einsumsvd,
+)
+from tests.conftest import random_complex
+
+
+def reconstruct(backend, spec_out_a, spec_out_b, a, b, contracted):
+    """Contract the two einsumsvd outputs back over the new bond."""
+    return np.einsum(
+        f"{spec_out_a},{spec_out_b}->{contracted}", backend.asarray(a), backend.asarray(b)
+    )
+
+
+class TestExplicitSVD:
+    def test_full_rank_reproduces_contraction(self, backend, rng):
+        a = backend.astensor(random_complex(rng, (3, 4, 5)))
+        b = backend.astensor(random_complex(rng, (5, 6, 2)))
+        x, y = einsumsvd("abc,cde->abk,kde", a, b, option=ExplicitSVD(), backend=backend)
+        full = np.einsum("abc,cde->abde", backend.asarray(a), backend.asarray(b))
+        rec = reconstruct(backend, "abk", "kde", x, y, "abde")
+        assert np.allclose(rec, full)
+
+    def test_rank_truncation_caps_bond(self, numpy_backend, rng):
+        a = random_complex(rng, (3, 4, 5))
+        b = random_complex(rng, (5, 6, 2))
+        x, y = einsumsvd("abc,cde->abk,kde", a, b, option=ExplicitSVD(rank=4), backend=numpy_backend)
+        assert x.shape == (3, 4, 4)
+        assert y.shape == (4, 6, 2)
+
+    def test_rank_kwarg_overrides_option(self, numpy_backend, rng):
+        a = random_complex(rng, (3, 4, 5))
+        b = random_complex(rng, (5, 6, 2))
+        x, _ = einsumsvd("abc,cde->abk,kde", a, b, option=ExplicitSVD(rank=10), rank=2,
+                         backend=numpy_backend)
+        assert x.shape[-1] == 2
+
+    def test_truncation_is_optimal_for_the_merged_tensor(self, numpy_backend, rng):
+        a = random_complex(rng, (2, 3, 4))
+        b = random_complex(rng, (4, 3, 2))
+        full = np.einsum("abc,cde->abde", a, b)
+        matrix = full.reshape(6, 6)
+        s = np.linalg.svd(matrix, compute_uv=False)
+        x, y = einsumsvd("abc,cde->abk,kde", a, b, option=ExplicitSVD(rank=2), backend=numpy_backend)
+        rec = reconstruct(numpy_backend, "abk", "kde", x, y, "abde")
+        best = np.sqrt(np.sum(s[2:] ** 2))
+        assert np.linalg.norm(full - rec) == pytest.approx(best, rel=1e-8)
+
+    def test_output_index_order_respected(self, numpy_backend, rng):
+        a = random_complex(rng, (3, 4, 5))
+        b = random_complex(rng, (5, 6, 2))
+        x, y = einsumsvd("abc,cde->kba,dek", a, b, backend=numpy_backend)
+        assert x.shape[1:] == (4, 3)
+        assert y.shape[:2] == (6, 2)
+        rec = np.einsum("kba,dek->abde", x, y)
+        full = np.einsum("abc,cde->abde", a, b)
+        assert np.allclose(rec, full)
+
+    @pytest.mark.parametrize("absorb", ["left", "right", "even"])
+    def test_absorb_modes_reconstruct(self, numpy_backend, rng, absorb):
+        a = random_complex(rng, (3, 4, 5))
+        b = random_complex(rng, (5, 6, 2))
+        x, y = einsumsvd("abc,cde->abk,kde", a, b, option=ExplicitSVD(absorb=absorb),
+                         backend=numpy_backend)
+        full = np.einsum("abc,cde->abde", a, b)
+        assert np.allclose(np.einsum("abk,kde->abde", x, y), full)
+
+    def test_return_spectrum(self, numpy_backend, rng):
+        a = random_complex(rng, (3, 4, 5))
+        b = random_complex(rng, (5, 6, 2))
+        x, y, s = einsumsvd("abc,cde->abk,kde", a, b, backend=numpy_backend, return_spectrum=True)
+        full = np.einsum("abc,cde->abde", a, b).reshape(12, 12)
+        exact = np.linalg.svd(full, compute_uv=False)
+        assert np.allclose(s, exact, rtol=1e-10)
+
+    def test_three_operand_network(self, numpy_backend, rng):
+        g = random_complex(rng, (2, 2, 2, 2))
+        ra = random_complex(rng, (3, 2, 4))
+        rb = random_complex(rng, (3, 2, 4))
+        x, y = einsumsvd("xyjg,sjk,tgk->sxz,zty", g, ra, rb, backend=numpy_backend)
+        full = np.einsum("xyjg,sjk,tgk->sxty", g, ra, rb)
+        rec = np.einsum("sxz,zty->sxty", x, y)
+        assert np.allclose(rec, full)
+
+
+class TestImplicitRandomizedSVD:
+    def test_full_rank_reproduces_contraction(self, backend, rng):
+        a = backend.astensor(random_complex(rng, (3, 4, 5)))
+        b = backend.astensor(random_complex(rng, (5, 6, 2)))
+        option = ImplicitRandomizedSVD(rank=12, niter=2, oversample=4, seed=0)
+        x, y = einsumsvd("abc,cde->abk,kde", a, b, option=option, backend=backend)
+        full = np.einsum("abc,cde->abde", backend.asarray(a), backend.asarray(b))
+        rec = reconstruct(backend, "abk", "kde", x, y, "abde")
+        assert np.allclose(rec, full, atol=1e-9)
+
+    def test_matches_explicit_on_low_rank_input(self, numpy_backend, rng):
+        # Build two tensors whose contraction has numerical rank 3.
+        u = random_complex(rng, (12, 3))
+        v = random_complex(rng, (3, 8))
+        a = u.reshape(3, 4, 3)
+        b = v.reshape(3, 4, 2)
+        explicit = einsumsvd("abc,cde->abk,kde", a, b, option=ExplicitSVD(rank=3),
+                             backend=numpy_backend)
+        implicit = einsumsvd("abc,cde->abk,kde", a, b,
+                             option=ImplicitRandomizedSVD(rank=3, niter=3, oversample=3, seed=1),
+                             backend=numpy_backend)
+        rec_e = np.einsum("abk,kde->abde", *explicit)
+        rec_i = np.einsum("abk,kde->abde", *implicit)
+        assert np.allclose(rec_e, rec_i, atol=1e-8)
+
+    def test_seed_reproducibility(self, numpy_backend, rng):
+        a = random_complex(rng, (3, 4, 5))
+        b = random_complex(rng, (5, 6, 2))
+        opt = ImplicitRandomizedSVD(rank=4, seed=42)
+        x1, y1 = einsumsvd("abc,cde->abk,kde", a, b, option=opt, backend=numpy_backend)
+        x2, y2 = einsumsvd("abc,cde->abk,kde", a, b,
+                           option=ImplicitRandomizedSVD(rank=4, seed=42), backend=numpy_backend)
+        assert np.allclose(x1, x2)
+        assert np.allclose(y1, y2)
+
+    def test_default_rank_is_full(self, numpy_backend, rng):
+        a = random_complex(rng, (2, 3, 4))
+        b = random_complex(rng, (4, 3, 2))
+        x, y = einsumsvd("abc,cde->abk,kde", a, b,
+                         option=ImplicitRandomizedSVD(niter=2, seed=0), backend=numpy_backend)
+        rec = np.einsum("abk,kde->abde", x, y)
+        full = np.einsum("abc,cde->abde", a, b)
+        assert np.allclose(rec, full, atol=1e-9)
+
+    def test_gram_orthogonalization_variant(self, dist_backend, rng):
+        a = dist_backend.astensor(random_complex(rng, (3, 4, 5)))
+        b = dist_backend.astensor(random_complex(rng, (5, 6, 2)))
+        option = ImplicitRandomizedSVD(rank=12, niter=2, oversample=4, seed=0, orth_method="gram")
+        x, y = einsumsvd("abc,cde->abk,kde", a, b, option=option, backend=dist_backend)
+        full = np.einsum("abc,cde->abde", dist_backend.asarray(a), dist_backend.asarray(b))
+        rec = np.einsum("abk,kde->abde", dist_backend.asarray(x), dist_backend.asarray(y))
+        assert np.allclose(rec, full, atol=1e-8)
+
+
+class TestOptionObjects:
+    def test_with_rank_copies(self):
+        opt = ImplicitRandomizedSVD(rank=4, niter=2, seed=7)
+        new = opt.with_rank(9)
+        assert new.rank == 9 and opt.rank == 4
+        assert isinstance(new, ImplicitRandomizedSVD)
+        assert new.niter == 2
+
+    def test_base_option_default_is_explicit_path(self, numpy_backend, rng):
+        a = random_complex(rng, (2, 3, 4))
+        b = random_complex(rng, (4, 2, 2))
+        x, y = einsumsvd("abc,cde->abk,kde", a, b, option=EinsumSVDOption(), backend=numpy_backend)
+        full = np.einsum("abc,cde->abde", a, b)
+        assert np.allclose(np.einsum("abk,kde->abde", x, y), full)

@@ -1,0 +1,85 @@
+"""Tests for the Eq. (6) alternative expectation value (Trotter + Taylor)."""
+
+import numpy as np
+import pytest
+
+from repro import peps
+from repro.circuits import Circuit
+from repro.operators.hamiltonians import heisenberg_j1j2, transverse_field_ising
+from repro.peps import BMPS, Exact, QRUpdate, TwoLayerBMPS, expectation_via_evolution
+from repro.statevector import StateVector
+from repro.tensornetwork import ExplicitSVD
+
+
+def entangled_state(nrow, ncol, seed=0):
+    n = nrow * ncol
+    rng = np.random.default_rng(seed)
+    circ = Circuit(n)
+    for i in range(n):
+        circ.ry(i, float(rng.uniform(0, np.pi)))
+    for r in range(nrow):
+        for c in range(ncol):
+            s = r * ncol + c
+            if c + 1 < ncol:
+                circ.cnot(s, s + 1)
+            if r + 1 < nrow:
+                circ.cnot(s, s + ncol)
+    q = peps.computational_zeros(nrow, ncol)
+    q.apply_circuit(circ, QRUpdate(rank=None))
+    sv = StateVector.computational_zeros(n).apply_circuit(circ)
+    return q, sv
+
+
+class TestExpectationViaEvolution:
+    def test_matches_direct_method_tfi(self):
+        q, sv = entangled_state(2, 2, seed=1)
+        ham = transverse_field_ising(2, 2)
+        direct = q.expectation(ham, contract_option=Exact())
+        via_evolution = expectation_via_evolution(q, ham, tau=1e-4, contract_option=Exact())
+        assert via_evolution == pytest.approx(direct, abs=5e-3)
+        assert via_evolution == pytest.approx(sv.expectation(ham), abs=5e-3)
+
+    def test_matches_direct_method_j1j2_with_diagonals(self):
+        q, sv = entangled_state(2, 2, seed=2)
+        ham = heisenberg_j1j2(2, 2)
+        via_evolution = expectation_via_evolution(q, ham, tau=1e-4, contract_option=Exact())
+        assert via_evolution == pytest.approx(sv.expectation(ham), abs=1e-2)
+
+    def test_bias_shrinks_with_tau(self):
+        q, sv = entangled_state(2, 3, seed=3)
+        ham = transverse_field_ising(2, 3)
+        exact = sv.expectation(ham)
+        err_large = abs(expectation_via_evolution(q, ham, tau=5e-2,
+                                                  contract_option=Exact()) - exact)
+        err_small = abs(expectation_via_evolution(q, ham, tau=1e-3,
+                                                  contract_option=Exact()) - exact)
+        assert err_small < err_large
+
+    def test_truncated_contraction_option(self):
+        # The finite difference divides the overlap error by tau, so with an
+        # approximate contraction the step must not be taken too small.
+        q, sv = entangled_state(2, 3, seed=4)
+        ham = transverse_field_ising(2, 3)
+        value = expectation_via_evolution(
+            q, ham, tau=1e-3,
+            contract_option=BMPS(ExplicitSVD(rank=32)),
+        )
+        # The O(tau) bias dominates over the contraction truncation here.
+        reference = expectation_via_evolution(q, ham, tau=1e-3, contract_option=Exact())
+        assert value == pytest.approx(reference, abs=1e-3)
+        assert value == pytest.approx(sv.expectation(ham), abs=0.15)
+
+    def test_unnormalized_variant_scales_with_norm(self):
+        q, _ = entangled_state(2, 2, seed=5)
+        ham = transverse_field_ising(2, 2)
+        scaled = q.scale(2.0)
+        normalized = expectation_via_evolution(scaled, ham, tau=1e-4, contract_option=Exact())
+        unnormalized = expectation_via_evolution(scaled, ham, tau=1e-4, contract_option=Exact(),
+                                                 normalized=False)
+        assert unnormalized == pytest.approx(4.0 * normalized, rel=1e-3)
+
+    def test_invalid_tau_raises(self):
+        q, _ = entangled_state(2, 2, seed=6)
+        ham = transverse_field_ising(2, 2)
+        with pytest.raises(ValueError):
+            expectation_via_evolution(q, ham, tau=0.0)

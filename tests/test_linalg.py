@@ -1,0 +1,233 @@
+"""Tests for truncated SVD, orthogonalization (Algorithm 5) and implicit operators."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import (
+    DenseTensorOperator,
+    TensorNetworkOperator,
+    gram_orthogonalize,
+    qr_orthogonalize,
+    randomized_svd,
+    tensor_qr,
+    truncate_spectrum,
+    truncated_svd,
+)
+from repro.tensornetwork.einsum_spec import parse_einsumsvd
+from tests.conftest import random_complex
+
+
+def low_rank_matrix(rng, m, n, rank, decay=0.5):
+    """A matrix with controlled, rapidly decaying spectrum."""
+    u, _ = np.linalg.qr(random_complex(rng, (m, rank)))
+    v, _ = np.linalg.qr(random_complex(rng, (n, rank)))
+    s = decay ** np.arange(rank)
+    return (u * s) @ v.conj().T
+
+
+class TestTruncateSpectrum:
+    def test_no_truncation(self):
+        keep, err = truncate_spectrum(np.array([3.0, 2.0, 1.0]))
+        assert keep == 3 and err == 0.0
+
+    def test_rank_truncation_error(self):
+        s = np.array([2.0, 1.0, 1.0])
+        keep, err = truncate_spectrum(s, rank=1)
+        assert keep == 1
+        assert err == pytest.approx(np.sqrt(2.0 / 6.0))
+
+    def test_cutoff_truncation(self):
+        s = np.array([1.0, 0.5, 1e-8])
+        keep, _ = truncate_spectrum(s, cutoff=1e-6)
+        assert keep == 2
+
+    def test_rank_and_cutoff_combined(self):
+        s = np.array([1.0, 0.9, 0.8, 1e-9])
+        keep, _ = truncate_spectrum(s, rank=10, cutoff=1e-6)
+        assert keep == 3
+        keep, _ = truncate_spectrum(s, rank=2, cutoff=1e-6)
+        assert keep == 2
+
+    def test_keeps_at_least_one(self):
+        keep, _ = truncate_spectrum(np.array([1.0, 0.1]), cutoff=10.0)
+        assert keep == 1
+
+    def test_empty_and_zero_spectra(self):
+        assert truncate_spectrum(np.array([])) == (0, 0.0)
+        keep, err = truncate_spectrum(np.zeros(3), rank=2)
+        assert keep >= 1 and err == 0.0
+
+
+class TestTruncatedSVD:
+    def test_exact_reconstruction_full_rank(self, backend, rng):
+        a = random_complex(rng, (6, 4))
+        result = truncated_svd(backend, backend.astensor(a))
+        rec = backend.asarray(result.u) @ backend.asarray(result.vh)
+        assert np.allclose(rec, a)
+        assert result.truncation_error == pytest.approx(0.0, abs=1e-12)
+
+    def test_rank_truncation_is_best_approximation(self, numpy_backend, rng):
+        a = low_rank_matrix(rng, 12, 10, 6)
+        result = truncated_svd(numpy_backend, a, rank=3)
+        rec = result.u @ result.vh
+        s = np.linalg.svd(a, compute_uv=False)
+        expected_err = np.sqrt(np.sum(s[3:] ** 2))
+        assert np.linalg.norm(a - rec) == pytest.approx(expected_err, rel=1e-8)
+        assert result.rank == 3
+
+    @pytest.mark.parametrize("absorb", ["left", "right", "even", "none"])
+    def test_absorption_modes_reconstruct(self, numpy_backend, rng, absorb):
+        a = random_complex(rng, (5, 7))
+        result = truncated_svd(numpy_backend, a, absorb=absorb)
+        u, vh, s = result.u, result.vh, result.s
+        if absorb == "none":
+            rec = (u * s) @ vh
+        else:
+            rec = u @ vh
+        assert np.allclose(rec, a)
+
+    def test_isometry_when_not_absorbed(self, numpy_backend, rng):
+        a = random_complex(rng, (8, 5))
+        result = truncated_svd(numpy_backend, a, rank=3, absorb="none")
+        u = result.u
+        assert np.allclose(u.conj().T @ u, np.eye(3), atol=1e-12)
+
+    def test_invalid_absorb_raises(self, numpy_backend, rng):
+        with pytest.raises(ValueError):
+            truncated_svd(numpy_backend, random_complex(rng, (3, 3)), absorb="sideways")
+
+
+class TestOrthogonalize:
+    @pytest.mark.parametrize("method", ["qr", "gram"])
+    def test_tensor_qr_reconstructs(self, backend, rng, method):
+        t = backend.astensor(random_complex(rng, (4, 5, 3, 2)))
+        q, r = tensor_qr(backend, t, 2, method=method)
+        rec = backend.einsum("abk,kcd->abcd", q, r)
+        assert np.allclose(backend.asarray(rec), backend.asarray(t))
+
+    @pytest.mark.parametrize("method", ["qr", "gram"])
+    def test_tensor_qr_isometry(self, numpy_backend, rng, method):
+        t = random_complex(rng, (6, 4, 3))
+        q, _ = tensor_qr(numpy_backend, t, 2, method=method)
+        qm = q.reshape(24, -1)
+        k = qm.shape[1]
+        assert np.allclose(qm.conj().T @ qm, np.eye(k), atol=1e-10)
+
+    def test_gram_matches_auto_on_distributed(self, dist_backend, rng):
+        t = dist_backend.astensor(random_complex(rng, (6, 4, 3)))
+        q_auto, r_auto = tensor_qr(dist_backend, t, 2, method="auto")
+        rec = dist_backend.einsum("abk,kc->abc", q_auto, r_auto)
+        assert np.allclose(dist_backend.asarray(rec), dist_backend.asarray(t))
+
+    def test_gram_rank_deficient_input(self, numpy_backend, rng):
+        # A rank-1 operator: the Gram matrix is singular but QR must still
+        # reproduce the tensor.
+        u = random_complex(rng, (8,))
+        v = random_complex(rng, (4,))
+        t = np.outer(u, v).reshape(8, 2, 2)
+        q, r = tensor_qr(numpy_backend, t, 1, method="gram")
+        rec = np.einsum("ak,kbc->abc", q, r)
+        assert np.allclose(rec, t, atol=1e-10)
+
+    def test_orthogonalize_helpers(self, numpy_backend, rng):
+        t = random_complex(rng, (10, 3))
+        for fn in (qr_orthogonalize, gram_orthogonalize):
+            q = fn(numpy_backend, t, 1)
+            assert np.allclose(q.conj().T @ q, np.eye(3), atol=1e-10)
+
+    def test_invalid_split_raises(self, numpy_backend, rng):
+        t = random_complex(rng, (3, 3))
+        with pytest.raises(ValueError):
+            tensor_qr(numpy_backend, t, 0)
+        with pytest.raises(ValueError):
+            tensor_qr(numpy_backend, t, 2)
+        with pytest.raises(ValueError):
+            tensor_qr(numpy_backend, t, 1, method="cholesky")
+
+
+class TestImplicitOperators:
+    def test_dense_operator_apply_matches_matrix(self, numpy_backend, rng):
+        t = random_complex(rng, (3, 4, 5))  # rows (3,4), cols (5,)
+        op = DenseTensorOperator(numpy_backend, t, 2)
+        probe = random_complex(rng, (5, 2))
+        out = op.apply(probe)
+        ref = np.tensordot(t, probe, axes=([2], [0]))
+        assert np.allclose(out, ref)
+        adj = op.apply_adjoint(random_complex(rng, (3, 4, 2)))
+        assert adj.shape == (5, 2)
+
+    def test_dense_operator_adjoint_consistency(self, numpy_backend, rng):
+        t = random_complex(rng, (4, 6))
+        op = DenseTensorOperator(numpy_backend, t, 1)
+        x = random_complex(rng, (6, 1))
+        y = random_complex(rng, (4, 1))
+        lhs = np.vdot(y[:, 0], op.apply(x)[:, 0])
+        rhs = np.vdot(op.apply_adjoint(y)[:, 0], x[:, 0])
+        assert lhs == pytest.approx(rhs)
+
+    def test_network_operator_matches_materialized(self, backend, rng):
+        spec = parse_einsumsvd("abc,cde->abk,kde")
+        a = backend.astensor(random_complex(rng, (3, 4, 5)))
+        b = backend.astensor(random_complex(rng, (5, 2, 6)))
+        op = TensorNetworkOperator(backend, spec, [a, b])
+        assert op.row_shape == (3, 4)
+        assert op.col_shape == (2, 6)
+        dense = backend.asarray(op.materialize())
+        probe = backend.astensor(random_complex(rng, (2, 6, 3)))
+        out = backend.asarray(op.apply(probe))
+        ref = np.einsum("abde,dek->abk", dense, backend.asarray(probe))
+        assert np.allclose(out, ref)
+        probe_r = backend.astensor(random_complex(rng, (3, 4, 2)))
+        out_adj = backend.asarray(op.apply_adjoint(probe_r))
+        ref_adj = np.einsum("abde,abk->dek", dense.conj(), backend.asarray(probe_r))
+        assert np.allclose(out_adj, ref_adj)
+
+    def test_operand_count_mismatch_raises(self, numpy_backend, rng):
+        spec = parse_einsumsvd("abc,cde->abk,kde")
+        with pytest.raises(ValueError):
+            TensorNetworkOperator(numpy_backend, spec, [random_complex(rng, (3, 4, 5))])
+
+
+class TestRandomizedSVD:
+    def test_exact_recovery_of_low_rank_operator(self, backend, rng):
+        a = low_rank_matrix(rng, 20, 15, 5)
+        op = DenseTensorOperator(backend, backend.astensor(a), 1)
+        result = randomized_svd(backend, op, rank=5, niter=2, oversample=4, rng=0)
+        rec = backend.asarray(result.u) * result.s @ backend.asarray(result.vh)
+        assert np.allclose(rec, a, atol=1e-10)
+
+    def test_singular_values_match_exact(self, numpy_backend, rng):
+        a = low_rank_matrix(rng, 30, 20, 8)
+        op = DenseTensorOperator(numpy_backend, a, 1)
+        result = randomized_svd(numpy_backend, op, rank=8, niter=3, oversample=4, rng=1)
+        exact = np.linalg.svd(a, compute_uv=False)[:8]
+        assert np.allclose(np.sort(result.s)[::-1], exact, rtol=1e-6)
+
+    @pytest.mark.parametrize("orth_method", ["qr", "gram"])
+    def test_orthogonalization_methods_agree(self, numpy_backend, rng, orth_method):
+        a = low_rank_matrix(rng, 16, 12, 4)
+        op = DenseTensorOperator(numpy_backend, a, 1)
+        result = randomized_svd(numpy_backend, op, rank=4, niter=2, orth_method=orth_method, rng=2)
+        rec = (result.u * result.s) @ result.vh
+        assert np.allclose(rec, a, atol=1e-9)
+
+    def test_truncation_below_numerical_rank(self, numpy_backend, rng):
+        a = low_rank_matrix(rng, 20, 20, 10, decay=0.3)
+        op = DenseTensorOperator(numpy_backend, a, 1)
+        result = randomized_svd(numpy_backend, op, rank=4, niter=3, oversample=6, rng=3)
+        exact = np.linalg.svd(a, compute_uv=False)
+        best_err = np.sqrt(np.sum(exact[4:] ** 2))
+        rec = (result.u * result.s) @ result.vh
+        err = np.linalg.norm(a - rec)
+        assert err <= 3.0 * best_err + 1e-12
+
+    def test_rank_larger_than_operator_is_clamped(self, numpy_backend, rng):
+        a = random_complex(rng, (4, 3))
+        op = DenseTensorOperator(numpy_backend, a, 1)
+        result = randomized_svd(numpy_backend, op, rank=10, niter=1, rng=0)
+        assert result.rank <= 3
+
+    def test_invalid_rank_raises(self, numpy_backend, rng):
+        op = DenseTensorOperator(numpy_backend, random_complex(rng, (4, 4)), 1)
+        with pytest.raises(ValueError):
+            randomized_svd(numpy_backend, op, rank=0)

@@ -1,0 +1,158 @@
+"""Tests for MPO construction and MPO x MPS application (exact and zip-up)."""
+
+import numpy as np
+import pytest
+
+from repro.mps import MPO, MPS, apply_mpo_exact, apply_mpo_zipup
+from repro.operators import gates
+from repro.tensornetwork import ExplicitSVD, ImplicitRandomizedSVD
+from tests.conftest import random_complex
+
+
+def random_mpo(rng, n, bond=2, phys=2, backend="numpy"):
+    """A random MPO with the given uniform bond dimension."""
+    tensors = []
+    left = 1
+    for i in range(n):
+        right = bond if i < n - 1 else 1
+        t = random_complex(rng, (left, phys, phys, right)) / np.sqrt(left * right * phys)
+        tensors.append(t)
+        left = right
+    return MPO(tensors, backend)
+
+
+class TestMPO:
+    def test_identity_mpo_dense(self):
+        mpo = MPO.identity(3)
+        assert np.allclose(mpo.to_dense(), np.eye(8))
+
+    def test_from_site_matrices_dense(self):
+        mpo = MPO.from_site_matrices([gates.X(), gates.H()])
+        assert np.allclose(mpo.to_dense(), np.kron(gates.X(), gates.H()))
+
+    def test_bond_and_phys_dimensions(self, rng):
+        mpo = random_mpo(rng, 4, bond=3)
+        assert mpo.bond_dimensions() == [3, 3, 3]
+        assert mpo.physical_dimensions() == [(2, 2)] * 4
+
+    def test_copy_and_conj(self, rng):
+        mpo = random_mpo(rng, 3)
+        assert np.allclose(mpo.conj().to_dense(), mpo.to_dense().conj())
+        copy = mpo.copy()
+        copy.tensors[0] = copy.tensors[0] * 0
+        assert np.linalg.norm(mpo.to_dense()) > 0
+
+    def test_validation_errors(self, rng):
+        with pytest.raises(ValueError):
+            MPO([], "numpy")
+        with pytest.raises(ValueError):
+            MPO([random_complex(rng, (1, 2, 2))], "numpy")
+        with pytest.raises(ValueError):
+            MPO([random_complex(rng, (2, 2, 2, 1))], "numpy")
+        with pytest.raises(ValueError):
+            MPO(
+                [random_complex(rng, (1, 2, 2, 3)), random_complex(rng, (2, 2, 2, 1))],
+                "numpy",
+            )
+        with pytest.raises(ValueError):
+            MPO.from_site_matrices([np.ones((2, 3))])
+
+
+class TestExactApply:
+    def test_identity_application(self, rng):
+        mps = MPS.random(4, bond_dim=3, rng=rng)
+        out = apply_mpo_exact(mps, MPO.identity(4))
+        assert np.allclose(out.to_dense(), mps.to_dense())
+
+    def test_matches_dense_operator(self, rng):
+        mps = MPS.random(4, bond_dim=2, rng=rng)
+        mpo = random_mpo(rng, 4, bond=2)
+        out = apply_mpo_exact(mps, mpo)
+        ref = (mpo.to_dense() @ mps.to_dense().ravel()).reshape(2, 2, 2, 2)
+        assert np.allclose(out.to_dense(), ref)
+
+    def test_bond_dimensions_multiply(self, rng):
+        mps = MPS.random(4, bond_dim=2, rng=rng)
+        mpo = random_mpo(rng, 4, bond=3)
+        out = apply_mpo_exact(mps, mpo)
+        assert max(out.bond_dimensions()) == 6
+
+    def test_length_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            apply_mpo_exact(MPS.random(3, rng=rng), MPO.identity(4))
+
+
+class TestZipUpApply:
+    @pytest.mark.parametrize("option", [
+        ExplicitSVD(),
+        ImplicitRandomizedSVD(niter=2, oversample=4, seed=0),
+    ])
+    def test_untruncated_zipup_matches_exact(self, rng, option):
+        mps = MPS.random(5, bond_dim=2, rng=rng)
+        mpo = random_mpo(rng, 5, bond=2)
+        ref = apply_mpo_exact(mps, mpo).to_dense()
+        out = apply_mpo_zipup(mps, mpo, max_bond=8, option=option)
+        assert np.allclose(out.to_dense(), ref, atol=1e-9)
+
+    def test_truncation_caps_bond(self, rng):
+        mps = MPS.random(5, bond_dim=4, rng=rng)
+        mpo = random_mpo(rng, 5, bond=3)
+        out = apply_mpo_zipup(mps, mpo, max_bond=5, option=ExplicitSVD())
+        assert max(out.bond_dimensions()) <= 5
+
+    def test_truncated_result_close_to_exact_for_weak_coupling(self, rng):
+        # An MPO close to the identity barely grows the entanglement, so a
+        # truncated zip-up should stay accurate.
+        mps = MPS.random(5, bond_dim=3, rng=rng)
+        tensors = []
+        left = 1
+        for i in range(5):
+            right = 2 if i < 4 else 1
+            t = np.zeros((left, 2, 2, right), dtype=np.complex128)
+            t[0, :, :, 0] = np.eye(2)
+            t += 0.01 * (random_complex(rng, t.shape))
+            tensors.append(t)
+            left = right
+        mpo = MPO(tensors, "numpy")
+        ref = apply_mpo_exact(mps, mpo).to_dense()
+        out = apply_mpo_zipup(mps, mpo, max_bond=3, option=ExplicitSVD()).to_dense()
+        assert np.linalg.norm(out - ref) / np.linalg.norm(ref) < 0.05
+
+    def test_implicit_and_explicit_agree_after_truncation(self, rng):
+        mps = MPS.random(4, bond_dim=2, rng=rng)
+        mpo = random_mpo(rng, 4, bond=2)
+        explicit = apply_mpo_zipup(mps, mpo, max_bond=4, option=ExplicitSVD()).to_dense()
+        implicit = apply_mpo_zipup(
+            mps, mpo, max_bond=4,
+            option=ImplicitRandomizedSVD(niter=3, oversample=4, seed=3),
+        ).to_dense()
+        # Up to the randomized sketch, the dominant subspaces agree.
+        overlap = abs(np.vdot(explicit.ravel(), implicit.ravel()))
+        assert overlap / (np.linalg.norm(explicit) * np.linalg.norm(implicit)) > 0.99
+
+    def test_single_site_chain(self, rng):
+        mps = MPS.random(1, bond_dim=1, rng=rng)
+        mpo = MPO.from_site_matrices([gates.H()])
+        out = apply_mpo_zipup(mps, mpo, max_bond=2)
+        ref = gates.H() @ mps.to_dense().ravel()
+        assert np.allclose(out.to_dense().ravel(), ref)
+
+    def test_gate_product_mpo(self, rng):
+        mps = MPS.computational_basis([0, 0, 0])
+        mpo = MPO.from_site_matrices([gates.H(), gates.X(), gates.H()])
+        out = apply_mpo_zipup(mps, mpo, max_bond=4)
+        ref = (
+            np.kron(np.kron(gates.H(), gates.X()), gates.H())
+            @ mps.to_dense().ravel()
+        )
+        assert np.allclose(out.to_dense().ravel(), ref)
+
+    def test_length_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            apply_mpo_zipup(MPS.random(3, rng=rng), MPO.identity(4))
+
+    def test_works_on_distributed_backend(self, dist_backend, rng):
+        mps = MPS.random(3, bond_dim=2, backend=dist_backend, rng=rng)
+        mpo = MPO.identity(3, backend=dist_backend)
+        out = apply_mpo_zipup(mps, mpo, max_bond=4)
+        assert np.allclose(out.to_dense(), mps.to_dense())

@@ -1,0 +1,145 @@
+"""Tests for the MPS class: construction, canonical forms, compression, contraction."""
+
+import numpy as np
+import pytest
+
+from repro.mps import MPS
+from tests.conftest import random_complex
+
+
+class TestConstruction:
+    def test_product_state(self, backend):
+        mps = MPS.product_state([[1, 0], [0, 1], [1, 1]], backend=backend)
+        assert len(mps) == 3
+        assert mps.bond_dimensions() == [1, 1]
+        dense = mps.to_dense()
+        assert dense[0, 1, 0] == pytest.approx(1.0)
+        assert dense[0, 1, 1] == pytest.approx(1.0)
+
+    def test_computational_basis(self, numpy_backend):
+        mps = MPS.computational_basis([1, 0, 1])
+        dense = mps.to_dense()
+        assert dense[1, 0, 1] == pytest.approx(1.0)
+        assert np.sum(np.abs(dense)) == pytest.approx(1.0)
+
+    def test_identity_boundary(self, numpy_backend):
+        mps = MPS.identity_boundary(4)
+        assert mps.contract_to_scalar() == pytest.approx(1.0)
+
+    def test_random_is_normalized_and_reproducible(self, numpy_backend):
+        a = MPS.random(5, bond_dim=3, rng=np.random.default_rng(1))
+        b = MPS.random(5, bond_dim=3, rng=np.random.default_rng(1))
+        assert a.norm() == pytest.approx(1.0)
+        assert np.allclose(a.to_dense(), b.to_dense())
+
+    def test_random_bond_capped_by_entanglement_limit(self):
+        mps = MPS.random(4, phys_dim=2, bond_dim=100)
+        assert mps.bond_dimensions() == [2, 4, 2]
+
+    def test_from_dense_roundtrip(self, rng):
+        state = random_complex(rng, (2, 2, 2, 2))
+        mps = MPS.from_dense(state, [2, 2, 2, 2])
+        assert np.allclose(mps.to_dense(), state)
+
+    def test_from_dense_with_truncation(self, rng):
+        state = random_complex(rng, (2, 2, 2, 2))
+        mps = MPS.from_dense(state, [2] * 4, max_bond=2)
+        assert max(mps.bond_dimensions()) <= 2
+
+    def test_invalid_tensors_raise(self, numpy_backend, rng):
+        with pytest.raises(ValueError):
+            MPS([], numpy_backend)
+        with pytest.raises(ValueError):
+            MPS([random_complex(rng, (1, 2))], numpy_backend)
+        with pytest.raises(ValueError):
+            MPS([random_complex(rng, (2, 2, 1))], numpy_backend)  # outer bond != 1
+        with pytest.raises(ValueError):
+            MPS(
+                [random_complex(rng, (1, 2, 3)), random_complex(rng, (4, 2, 1))],
+                numpy_backend,
+            )  # bond mismatch
+
+
+class TestContraction:
+    def test_inner_product_matches_dense(self, rng):
+        a = MPS.random(4, bond_dim=3, rng=rng)
+        b = MPS.random(4, bond_dim=2, rng=rng)
+        dense_inner = np.vdot(a.to_dense().ravel(), b.to_dense().ravel())
+        assert a.inner(b) == pytest.approx(dense_inner)
+
+    def test_overlap_is_bilinear_not_sesquilinear(self, rng):
+        a = MPS.random(3, bond_dim=2, rng=rng)
+        b = MPS.random(3, bond_dim=2, rng=rng)
+        dense = np.sum(a.to_dense() * b.to_dense())
+        assert a.overlap(b) == pytest.approx(dense)
+
+    def test_norm_matches_dense(self, rng):
+        a = MPS.random(4, bond_dim=3, rng=rng, normalize=False)
+        assert a.norm() == pytest.approx(np.linalg.norm(a.to_dense()))
+
+    def test_inner_length_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            MPS.random(3, rng=rng).inner(MPS.random(4, rng=rng))
+
+    def test_contract_to_scalar_requires_unit_phys(self, rng):
+        mps = MPS.random(3, phys_dim=2, rng=rng)
+        with pytest.raises(ValueError):
+            mps.contract_to_scalar()
+
+
+class TestCanonicalization:
+    def test_canonicalize_preserves_state(self, rng):
+        mps = MPS.random(5, bond_dim=4, rng=rng)
+        for center in (0, 2, 4, -1):
+            canon = mps.canonicalize(center)
+            assert np.allclose(canon.to_dense(), mps.to_dense())
+
+    def test_canonicalize_isometries(self, rng):
+        mps = MPS.random(5, bond_dim=4, rng=rng)
+        center = 2
+        canon = mps.canonicalize(center)
+        b = canon.backend
+        # Left of the center: left-orthogonal.
+        for i in range(center):
+            t = b.asarray(canon.tensors[i])
+            mat = t.reshape(-1, t.shape[2])
+            assert np.allclose(mat.conj().T @ mat, np.eye(t.shape[2]), atol=1e-10)
+        # Right of the center: right-orthogonal.
+        for i in range(center + 1, len(canon)):
+            t = b.asarray(canon.tensors[i])
+            mat = t.reshape(t.shape[0], -1)
+            assert np.allclose(mat @ mat.conj().T, np.eye(t.shape[0]), atol=1e-10)
+
+    def test_canonicalize_out_of_range_raises(self, rng):
+        with pytest.raises(ValueError):
+            MPS.random(3, rng=rng).canonicalize(5)
+
+    def test_compress_exact_when_bond_sufficient(self, rng):
+        mps = MPS.random(5, bond_dim=3, rng=rng)
+        compressed = mps.compress(max_bond=10)
+        assert np.allclose(compressed.to_dense(), mps.to_dense())
+
+    def test_compress_truncates_bond(self, rng):
+        mps = MPS.random(6, bond_dim=4, rng=rng)
+        compressed = mps.compress(max_bond=2)
+        assert max(compressed.bond_dimensions()) <= 2
+
+    def test_compress_error_is_optimal_scale(self, rng):
+        # Compression error should be comparable to the sum of discarded
+        # Schmidt weights (it is optimal per bond after canonicalization).
+        mps = MPS.random(6, bond_dim=6, rng=rng)
+        compressed = mps.compress(max_bond=3)
+        overlap = abs(compressed.inner(mps)) / (compressed.norm() * mps.norm())
+        assert overlap > 0.5  # sanity: still substantially aligned
+
+    def test_copy_and_conj(self, rng):
+        mps = MPS.random(3, bond_dim=2, rng=rng)
+        copy = mps.copy()
+        copy.tensors[0] = copy.tensors[0] * 0.0
+        assert mps.norm() > 0
+        conj = mps.conj()
+        assert np.allclose(conj.to_dense(), mps.to_dense().conj())
+
+    def test_repr_mentions_bonds(self, rng):
+        text = repr(MPS.random(3, bond_dim=2, rng=rng))
+        assert "MPS" in text and "bonds" in text

@@ -1,0 +1,161 @@
+"""Tests for PEPS construction, indexing, amplitudes and dense conversion."""
+
+import numpy as np
+import pytest
+
+from repro import peps
+from repro.peps import BMPS, Exact, PEPS, TwoLayerBMPS
+from repro.peps.peps import random_peps, random_single_layer_grid
+from repro.statevector import StateVector
+from repro.tensornetwork import ExplicitSVD
+from tests.conftest import random_complex
+
+
+class TestConstruction:
+    def test_computational_zeros_amplitudes(self, backend):
+        q = peps.computational_zeros(2, 3, backend=backend)
+        assert q.nrow == 2 and q.ncol == 3
+        assert q.n_sites == 6
+        assert q.amplitude([0] * 6) == pytest.approx(1.0)
+        assert q.amplitude([1, 0, 0, 0, 0, 0]) == pytest.approx(0.0)
+
+    def test_computational_ones(self):
+        q = peps.computational_ones(2, 2)
+        assert q.amplitude([1, 1, 1, 1]) == pytest.approx(1.0)
+
+    def test_computational_basis(self):
+        bits = [1, 0, 1, 1, 0, 0]
+        q = peps.computational_basis(bits, 2, 3)
+        assert q.amplitude(bits) == pytest.approx(1.0)
+        sv = q.to_statevector()
+        assert np.sum(np.abs(sv)) == pytest.approx(1.0)
+
+    def test_product_state(self):
+        plus = np.array([1, 1]) / np.sqrt(2)
+        q = peps.product_state([plus] * 4, 2, 2)
+        for bits in ([0, 0, 0, 0], [1, 0, 1, 1]):
+            assert q.amplitude(bits) == pytest.approx(0.25)
+
+    def test_product_state_wrong_count_raises(self):
+        with pytest.raises(ValueError):
+            peps.product_state([[1, 0]] * 3, 2, 2)
+
+    def test_random_peps_properties(self):
+        q = random_peps(3, 3, bond_dim=3, seed=0)
+        assert q.max_bond_dimension() == 3
+        assert len(q.bond_dimensions()) == 12
+        assert q.physical_dimensions() == [[2] * 3] * 3
+        q2 = random_peps(3, 3, bond_dim=3, seed=0)
+        assert np.allclose(q.to_statevector(), q2.to_statevector())
+
+    def test_random_single_layer_grid_shapes(self, numpy_backend):
+        grid = random_single_layer_grid(3, 4, bond_dim=2, seed=1)
+        assert len(grid) == 3 and len(grid[0]) == 4
+        assert numpy_backend.shape(grid[0][0]) == (1, 1, 2, 2)
+        assert numpy_backend.shape(grid[1][1]) == (2, 2, 2, 2)
+
+    def test_grid_validation(self, numpy_backend, rng):
+        good = peps.computational_zeros(2, 2).grid
+        bad = [[t for t in row] for row in good]
+        bad[0][0] = random_complex(rng, (2, 2, 1, 1, 1))  # top edge leg must be 1
+        with pytest.raises(ValueError):
+            PEPS(bad)
+        bad = [[t for t in row] for row in good]
+        bad[0][0] = random_complex(rng, (2, 1, 1, 1, 3))  # bond mismatch with right
+        with pytest.raises(ValueError):
+            PEPS(bad)
+        with pytest.raises(ValueError):
+            PEPS([])
+        with pytest.raises(ValueError):
+            PEPS([good[0], good[1][:1]])
+
+
+class TestIndexing:
+    def test_site_position_roundtrip(self):
+        q = peps.computational_zeros(3, 4)
+        for site in range(12):
+            r, c = q.site_position(site)
+            assert q.site_index(r, c) == site
+        with pytest.raises(ValueError):
+            q.site_position(12)
+        with pytest.raises(ValueError):
+            q.site_index(3, 0)
+
+    def test_getitem_setitem(self, numpy_backend):
+        q = peps.computational_zeros(2, 2)
+        t = q[0, 1]
+        assert numpy_backend.shape(t)[0] == 2
+        q[0, 1] = t * 2.0
+        assert np.allclose(numpy_backend.asarray(q[0, 1]), 2.0 * numpy_backend.asarray(t))
+
+    def test_copy_is_independent(self):
+        q = peps.computational_zeros(2, 2)
+        c = q.copy()
+        c.grid[0][0] = c.grid[0][0] * 0.0
+        assert q.amplitude([0, 0, 0, 0]) == pytest.approx(1.0)
+
+    def test_scale(self):
+        q = peps.computational_zeros(2, 2).scale(3.0)
+        assert q.amplitude([0, 0, 0, 0]) == pytest.approx(3.0)
+
+
+class TestAmplitudesAndNorm:
+    def test_amplitude_options_agree(self, rng):
+        q = random_peps(3, 3, bond_dim=2, seed=5)
+        bits = [int(b) for b in rng.integers(0, 2, 9)]
+        exact = q.amplitude(bits, Exact())
+        bmps = q.amplitude(bits, BMPS(ExplicitSVD(rank=16)))
+        two_layer = q.amplitude(bits, TwoLayerBMPS(ExplicitSVD(rank=16)))
+        assert bmps == pytest.approx(exact, rel=1e-8)
+        assert two_layer == pytest.approx(exact, rel=1e-8)
+
+    def test_amplitude_matches_statevector(self, rng):
+        q = random_peps(2, 3, bond_dim=2, seed=3)
+        sv = q.to_statevector()
+        for _ in range(4):
+            bits = [int(b) for b in rng.integers(0, 2, 6)]
+            index = int("".join(map(str, bits)), 2)
+            assert q.amplitude(bits, Exact()) == pytest.approx(sv[index])
+
+    def test_amplitude_validation(self):
+        q = peps.computational_zeros(2, 2)
+        with pytest.raises(ValueError):
+            q.amplitude([0, 0, 0])
+        with pytest.raises(ValueError):
+            q.amplitude([0, 0, 0, 5])
+
+    def test_norm_of_basis_state_is_one(self, backend):
+        q = peps.computational_zeros(2, 2, backend=backend)
+        assert q.norm(Exact()) == pytest.approx(1.0)
+        assert q.norm(TwoLayerBMPS(ExplicitSVD(rank=8))) == pytest.approx(1.0)
+
+    def test_norm_matches_statevector(self):
+        q = random_peps(2, 3, bond_dim=2, seed=9)
+        sv = q.to_statevector()
+        assert q.norm(Exact()) == pytest.approx(np.linalg.norm(sv), rel=1e-8)
+        assert q.norm(TwoLayerBMPS(ExplicitSVD(rank=32))) == pytest.approx(
+            np.linalg.norm(sv), rel=1e-6
+        )
+
+    def test_inner_matches_statevector(self):
+        a = random_peps(2, 2, bond_dim=2, seed=1)
+        b = random_peps(2, 2, bond_dim=2, seed=2)
+        ref = np.vdot(a.to_statevector(), b.to_statevector())
+        assert a.inner(b, Exact()) == pytest.approx(ref, rel=1e-8)
+        assert a.inner(b, TwoLayerBMPS(ExplicitSVD(rank=16))) == pytest.approx(ref, rel=1e-6)
+
+    def test_inner_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            peps.computational_zeros(2, 2).inner(peps.computational_zeros(2, 3))
+
+    def test_normalize(self):
+        q = random_peps(2, 2, bond_dim=2, seed=4)
+        n = q.normalize(Exact())
+        assert n.norm(Exact()) == pytest.approx(1.0, rel=1e-8)
+
+    def test_to_statevector_size_guard(self):
+        with pytest.raises(ValueError):
+            random_peps(5, 5, bond_dim=1).to_statevector()
+
+    def test_repr(self):
+        assert "PEPS" in repr(peps.computational_zeros(2, 2))

@@ -1,0 +1,206 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.backends import get_backend
+from repro.linalg import DenseTensorOperator, randomized_svd, tensor_qr, truncate_spectrum, truncated_svd
+from repro.mps import MPS, MPO, apply_mpo_exact, apply_mpo_zipup
+from repro.operators import gates
+from repro.operators.hamiltonians import heisenberg_j1j2, transverse_field_ising
+from repro.operators.observable import Observable
+from repro.statevector import StateVector
+from repro.tensornetwork import ExplicitSVD, einsumsvd
+from repro.tensornetwork.contraction_path import find_path
+from repro.tensornetwork.einsum_spec import parse_einsum
+
+BACKEND = get_backend("numpy")
+
+#: Shared hypothesis profile: these tests contract real tensors, so keep the
+#: example counts modest to stay fast and deterministic.
+FAST = settings(max_examples=20, deadline=None)
+
+
+def _complex_array(rng, shape):
+    return rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+
+
+dims = st.integers(min_value=1, max_value=4)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class TestSpectrumTruncationProperties:
+    @FAST
+    @given(
+        values=st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=12),
+        rank=st.integers(min_value=1, max_value=12),
+    )
+    def test_truncate_spectrum_invariants(self, values, rank):
+        s = np.sort(np.asarray(values))[::-1]
+        keep, err = truncate_spectrum(s, rank=rank)
+        assert 1 <= keep <= len(s)
+        assert keep <= max(rank, 1)
+        assert 0.0 <= err <= 1.0 + 1e-12
+
+    @FAST
+    @given(seed=seeds, m=st.integers(2, 8), n=st.integers(2, 8), rank=st.integers(1, 8))
+    def test_truncated_svd_error_matches_discarded_spectrum(self, seed, m, n, rank):
+        rng = np.random.default_rng(seed)
+        a = _complex_array(rng, (m, n))
+        result = truncated_svd(BACKEND, a, rank=rank)
+        s = np.linalg.svd(a, compute_uv=False)
+        k = min(rank, min(m, n))
+        expected = np.sqrt(np.sum(s[k:] ** 2) / np.sum(s**2)) if np.sum(s**2) > 0 else 0.0
+        assert result.rank <= k
+        assert result.truncation_error == pytest.approx(expected, abs=1e-10)
+        rec = BACKEND.asarray(result.u) @ BACKEND.asarray(result.vh)
+        assert np.linalg.norm(a - rec) <= np.sqrt(np.sum(s[k:] ** 2)) + 1e-9
+
+
+class TestOrthogonalizationProperties:
+    @FAST
+    @given(seed=seeds, a=dims, b=dims, c=dims,
+           method=st.sampled_from(["qr", "gram"]))
+    def test_tensor_qr_always_reconstructs(self, seed, a, b, c, method):
+        rng = np.random.default_rng(seed)
+        t = _complex_array(rng, (a + 1, b + 1, c))
+        q, r = tensor_qr(BACKEND, t, 2, method=method)
+        rec = np.einsum("abk,kc->abc", q, r)
+        assert np.allclose(rec, t, atol=1e-8)
+
+    @FAST
+    @given(seed=seeds, rows=st.integers(4, 10), cols=st.integers(1, 4))
+    def test_gram_isometry_for_tall_operators(self, seed, rows, cols):
+        rng = np.random.default_rng(seed)
+        t = _complex_array(rng, (rows, 2, cols))
+        q, _ = tensor_qr(BACKEND, t, 2, method="gram")
+        qm = q.reshape(rows * 2, -1)
+        gram = qm.conj().T @ qm
+        assert np.allclose(gram, np.eye(gram.shape[0]), atol=1e-6)
+
+
+class TestEinsumSVDProperties:
+    @FAST
+    @given(seed=seeds, a=dims, b=dims, c=dims, d=dims, e=dims)
+    def test_full_rank_einsumsvd_is_exact(self, seed, a, b, c, d, e):
+        rng = np.random.default_rng(seed)
+        x = _complex_array(rng, (a, b, c))
+        y = _complex_array(rng, (c, d, e))
+        left, right = einsumsvd("abc,cde->abk,kde", x, y, option=ExplicitSVD(), backend=BACKEND)
+        rec = np.einsum("abk,kde->abde", left, right)
+        full = np.einsum("abc,cde->abde", x, y)
+        assert np.allclose(rec, full, atol=1e-9)
+
+    @FAST
+    @given(seed=seeds, rank=st.integers(1, 6))
+    def test_truncation_never_exceeds_rank(self, seed, rank):
+        rng = np.random.default_rng(seed)
+        x = _complex_array(rng, (3, 3, 4))
+        y = _complex_array(rng, (4, 3, 3))
+        left, right = einsumsvd("abc,cde->abk,kde", x, y, option=ExplicitSVD(rank=rank),
+                                backend=BACKEND)
+        assert left.shape[-1] <= rank
+        assert right.shape[0] == left.shape[-1]
+
+
+class TestContractionPathProperties:
+    @FAST
+    @given(seed=seeds, n=st.integers(2, 5))
+    def test_path_length_and_positive_cost(self, seed, n):
+        rng = np.random.default_rng(seed)
+        sizes = rng.integers(1, 5, size=n + 1)
+        subscripts = ",".join(
+            f"{chr(ord('a') + i)}{chr(ord('a') + i + 1)}" for i in range(n)
+        ) + f"->a{chr(ord('a') + n)}"
+        shapes = [(int(sizes[i]), int(sizes[i + 1])) for i in range(n)]
+        info = find_path(subscripts, shapes, strategy="greedy")
+        assert len(info.path) == n - 1
+        assert info.total_flops > 0
+        assert info.max_intermediate_size >= 1
+
+    @FAST
+    @given(seed=seeds)
+    def test_greedy_path_reproduces_numpy_result(self, seed):
+        rng = np.random.default_rng(seed)
+        a = _complex_array(rng, (2, 3))
+        b = _complex_array(rng, (3, 4))
+        c = _complex_array(rng, (4, 2))
+        spec = parse_einsum("ab,bc,ca->")
+        info = find_path(spec, [(2, 3), (3, 4), (4, 2)])
+        assert len(info.path) == 2
+        ref = np.einsum("ab,bc,ca->", a, b, c)
+        assert np.isfinite(ref)
+
+
+class TestMPSProperties:
+    @FAST
+    @given(seed=seeds, n=st.integers(2, 5), bond=st.integers(1, 4))
+    def test_canonicalization_preserves_the_state(self, seed, n, bond):
+        mps = MPS.random(n, bond_dim=bond, rng=np.random.default_rng(seed))
+        canon = mps.canonicalize(n - 1)
+        assert np.allclose(canon.to_dense(), mps.to_dense(), atol=1e-9)
+
+    @FAST
+    @given(seed=seeds, n=st.integers(2, 5))
+    def test_compression_never_increases_norm(self, seed, n):
+        mps = MPS.random(n, bond_dim=4, rng=np.random.default_rng(seed), normalize=False)
+        compressed = mps.compress(max_bond=2)
+        assert compressed.norm() <= mps.norm() + 1e-9
+
+    @FAST
+    @given(seed=seeds, n=st.integers(2, 4))
+    def test_cauchy_schwarz(self, seed, n):
+        rng = np.random.default_rng(seed)
+        a = MPS.random(n, bond_dim=3, rng=rng, normalize=False)
+        b = MPS.random(n, bond_dim=3, rng=rng, normalize=False)
+        assert abs(a.inner(b)) <= a.norm() * b.norm() + 1e-9
+
+    @FAST
+    @given(seed=seeds, n=st.integers(2, 4), bond=st.integers(1, 3))
+    def test_zipup_identity_preserves_state(self, seed, n, bond):
+        mps = MPS.random(n, bond_dim=bond, rng=np.random.default_rng(seed))
+        out = apply_mpo_zipup(mps, MPO.identity(n), max_bond=bond * 2, option=ExplicitSVD())
+        assert np.allclose(out.to_dense(), mps.to_dense(), atol=1e-8)
+
+
+class TestQuantumInvariants:
+    @FAST
+    @given(seed=seeds, n=st.integers(1, 4))
+    def test_unitary_circuits_preserve_norm(self, seed, n):
+        from repro.circuits import random_quantum_circuit
+
+        circ = random_quantum_circuit(1, n, n_layers=4, seed=seed)
+        sv = StateVector.computational_zeros(n).apply_circuit(circ)
+        assert sv.norm() == pytest.approx(1.0, abs=1e-10)
+
+    @FAST
+    @given(seed=seeds)
+    def test_pauli_expectations_bounded(self, seed):
+        sv = StateVector.random(3, seed=seed)
+        for obs in (Observable.X(0), Observable.Y(1), Observable.Z(2), Observable.ZZ(0, 2)):
+            value = sv.expectation(obs)
+            assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+    @FAST
+    @given(nrow=st.integers(2, 3), ncol=st.integers(2, 3))
+    def test_hamiltonians_are_hermitian(self, nrow, ncol):
+        for ham in (transverse_field_ising(nrow, ncol), heisenberg_j1j2(nrow, ncol)):
+            dense = ham.to_matrix()
+            assert np.allclose(dense, dense.conj().T)
+
+    @FAST
+    @given(theta=st.floats(min_value=-6.0, max_value=6.0))
+    def test_rotation_gates_are_unitary_for_all_angles(self, theta):
+        for gate in (gates.Rx(theta), gates.Ry(theta), gates.Rz(theta)):
+            assert gates.is_unitary(gate)
+
+    @FAST
+    @given(seed=seeds)
+    def test_randomized_svd_never_overestimates_spectrum(self, seed):
+        rng = np.random.default_rng(seed)
+        a = _complex_array(rng, (8, 6))
+        op = DenseTensorOperator(BACKEND, a, 1)
+        result = randomized_svd(BACKEND, op, rank=3, niter=2, rng=seed)
+        exact = np.linalg.svd(a, compute_uv=False)
+        assert np.all(result.s <= exact[0] + 1e-8)

@@ -1,0 +1,123 @@
+"""Tests for repro.utils: RNG helpers, timers and flop estimates."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.flops import (
+    FlopCounter,
+    contraction_flops,
+    eigh_flops,
+    matmul_flops,
+    peps_bmps_cost,
+    qr_flops,
+    svd_flops,
+    tensor_bytes,
+)
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.timer import Timer, WallClock
+
+
+class TestRng:
+    def test_ensure_rng_from_int_is_deterministic(self):
+        a = ensure_rng(7).integers(0, 1000, 10)
+        b = ensure_rng(7).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_ensure_rng_passthrough(self):
+        gen = np.random.default_rng(3)
+        assert ensure_rng(gen) is gen
+
+    def test_ensure_rng_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_spawn_rng_streams_are_independent_and_reproducible(self):
+        children_a = spawn_rng(ensure_rng(11), 3)
+        children_b = spawn_rng(ensure_rng(11), 3)
+        for ca, cb in zip(children_a, children_b):
+            assert np.array_equal(ca.integers(0, 100, 5), cb.integers(0, 100, 5))
+        draws = [c.integers(0, 10**9) for c in spawn_rng(ensure_rng(11), 3)]
+        assert len(set(int(d) for d in draws)) == 3
+
+    def test_spawn_rng_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rng(ensure_rng(0), -1)
+
+
+class TestTimer:
+    def test_wallclock_measures_elapsed(self):
+        with WallClock() as clock:
+            time.sleep(0.01)
+        assert clock.elapsed >= 0.005
+
+    def test_timer_accumulates_sections(self):
+        timer = Timer()
+        for _ in range(3):
+            with timer.section("work"):
+                pass
+        assert timer.count("work") == 3
+        assert timer.total("work") >= 0.0
+        assert "work" in timer.report()
+
+    def test_timer_reset(self):
+        timer = Timer()
+        with timer.section("x"):
+            pass
+        timer.reset()
+        assert timer.count("x") == 0
+        assert timer.report() == {}
+
+
+class TestFlops:
+    def test_matmul_flops_scales_cubically(self):
+        assert matmul_flops(10, 10, 10) == 8.0 * 1000
+        assert matmul_flops(20, 20, 20) == 8 * matmul_flops(10, 10, 10)
+
+    def test_contraction_flops_matches_matmul(self):
+        flops = contraction_flops((4, 5), (5, 6), contracted_a=[1], contracted_b=[0])
+        assert flops == matmul_flops(4, 5, 6)
+
+    def test_contraction_flops_inconsistent_volumes_raise(self):
+        with pytest.raises(ValueError):
+            contraction_flops((4, 5), (6, 7), contracted_a=[1], contracted_b=[0])
+
+    def test_factorization_flops_positive_and_monotone(self):
+        assert svd_flops(100, 20) > svd_flops(50, 20) > 0
+        assert qr_flops(100, 20) > qr_flops(50, 20) > 0
+        assert eigh_flops(64) > eigh_flops(32) > 0
+
+    def test_qr_flops_symmetric_in_orientation(self):
+        assert qr_flops(100, 20) == qr_flops(20, 100)
+
+    def test_flop_counter_accumulates_by_category(self):
+        counter = FlopCounter()
+        counter.add("svd", 100.0)
+        counter.add("svd", 50.0)
+        counter.add("gemm", 25.0)
+        assert counter.total == 175.0
+        assert counter.by_category() == {"svd": 150.0, "gemm": 25.0}
+        counter.reset()
+        assert counter.total == 0.0
+
+    def test_flop_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FlopCounter().add("x", -1.0)
+
+    def test_tensor_bytes_complex128(self):
+        assert tensor_bytes((4, 4)) == 16 * 16
+
+    def test_table2_costs_ibmps_beats_bmps_asymptotically(self):
+        # With m ~ r the IBMPS cost formula grows strictly slower than BMPS.
+        small = peps_bmps_cost(8, r=4, m=4)
+        large = peps_bmps_cost(8, r=16, m=16)
+        bmps_growth = large["bmps"] / small["bmps"]
+        ibmps_growth = large["ibmps"] / small["ibmps"]
+        two_layer_growth = large["two_layer_ibmps"] / small["two_layer_ibmps"]
+        assert ibmps_growth < bmps_growth
+        assert two_layer_growth < ibmps_growth
+
+    def test_table2_space_ibmps_below_bmps(self):
+        costs = peps_bmps_cost(8, r=16, m=32)
+        assert costs["ibmps_space"] < costs["bmps_space"]
+        assert costs["two_layer_ibmps_space"] <= costs["ibmps_space"]
