@@ -69,6 +69,11 @@ class ImaginaryTimeEvolution:
         measurement and normalization (default: IBMPS with ``m = r^2``).
     normalize_every:
         Renormalize the PEPS every this many steps (ITE shrinks the norm).
+    reuse_environment:
+        Attach one :mod:`~repro.peps.envs` environment to the evolving state
+        for the whole sweep (default).  Normalization and energy measurement
+        then share a single pair of boundary sweeps per step — strictly fewer
+        row absorptions than the legacy per-step rebuilds (``False``).
     """
 
     def __init__(
@@ -78,6 +83,7 @@ class ImaginaryTimeEvolution:
         update_option: Optional[UpdateOption] = None,
         contract_option: Optional[ContractOption] = None,
         normalize_every: int = 1,
+        reuse_environment: bool = True,
     ) -> None:
         self.hamiltonian = hamiltonian
         self.tau = float(tau)
@@ -87,6 +93,7 @@ class ImaginaryTimeEvolution:
             contract_option = BMPS(ImplicitRandomizedSVD(rank=rank * rank, seed=0))
         self.contract_option = contract_option
         self.normalize_every = max(1, int(normalize_every))
+        self.reuse_environment = bool(reuse_environment)
         self._gates = hamiltonian.trotter_gates(-self.tau)
 
     def initial_state(self, backend="numpy") -> PEPS:
@@ -126,15 +133,28 @@ class ImaginaryTimeEvolution:
         callback: Optional[Callable[[int, float], None]] = None,
         backend="numpy",
     ) -> ITEResult:
-        """Run ``n_steps`` of ITE, measuring the energy every ``measure_every`` steps."""
+        """Run ``n_steps`` of ITE, measuring the energy every ``measure_every`` steps.
+
+        With ``reuse_environment=True`` the returned ``ITEResult.state`` keeps
+        its (possibly truncated) environment attached, so default-option
+        queries on it reuse the sweep's contraction option; call
+        ``state.detach_environment()`` to measure with other defaults.
+        """
         state = initial_state if initial_state is not None else self.initial_state(backend)
         state = state.copy()
+        if self.reuse_environment:
+            state.attach_environment(self.contract_option)
         energies: List[float] = []
         measured: List[int] = []
         for step_index in range(1, n_steps + 1):
             state = self.step(state)
             if step_index % self.normalize_every == 0:
-                state = state.normalize(self.contract_option)
+                if self.reuse_environment:
+                    # No explicit option: the attached environment (built from
+                    # self.contract_option) serves the norm from its caches.
+                    state.normalize_()
+                else:
+                    state = state.normalize(self.contract_option)
             if step_index % measure_every == 0 or step_index == n_steps:
                 e = self.energy(state)
                 energies.append(e)

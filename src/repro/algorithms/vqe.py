@@ -134,6 +134,10 @@ class VQE:
         self.contract_option = contract_option
         self.backend = backend
         self._observable = hamiltonian.to_observable()
+        # Persistent PEPS simulator state: one environment is attached for the
+        # whole optimization, so every objective evaluation reuses the same
+        # cached-boundary machinery instead of rebuilding it from scratch.
+        self._sim_state = None
 
     @property
     def n_parameters(self) -> int:
@@ -151,9 +155,7 @@ class VQE:
             state = StateVector.computational_zeros(self.hamiltonian.n_sites)
             state = state.apply_circuit(circuit)
             return state.expectation(self.hamiltonian)
-        state = peps_module.computational_zeros(
-            self.hamiltonian.nrow, self.hamiltonian.ncol, backend=self.backend
-        )
+        state = self._prepare_sim_state()
         state.apply_circuit(circuit, self.update_option)
         return state.expectation(
             self.hamiltonian,
@@ -161,6 +163,23 @@ class VQE:
             contract_option=self.contract_option,
             normalized=True,
         )
+
+    def _prepare_sim_state(self):
+        """The persistent PEPS simulator state, reset to ``|0...0>`` in place."""
+        nrow, ncol = self.hamiltonian.nrow, self.hamiltonian.ncol
+        if self._sim_state is None:
+            self._sim_state = peps_module.computational_zeros(
+                nrow, ncol, backend=self.backend
+            )
+            self._sim_state.attach_environment(self.contract_option)
+            return self._sim_state
+        state = self._sim_state
+        zero = np.zeros((2, 1, 1, 1, 1), dtype=np.complex128)
+        zero[0, 0, 0, 0, 0] = 1.0
+        for i in range(nrow):
+            for j in range(ncol):
+                state[i, j] = state.backend.astensor(np.array(zero, copy=True))
+        return state
 
     def energy_per_site(self, parameters: Sequence[float]) -> float:
         return self.energy(parameters) / self.hamiltonian.n_sites

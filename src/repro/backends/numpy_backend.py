@@ -13,6 +13,7 @@ the Table II benchmark).
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Any, Optional, Sequence, Tuple
 
 import numpy as np
@@ -92,22 +93,18 @@ class NumPyBackend(Backend):
     # Contraction and algebra
     # ------------------------------------------------------------------ #
     def einsum(self, subscripts: str, *operands: np.ndarray) -> np.ndarray:
-        result = np.einsum(subscripts, *operands, optimize=True)
+        shapes = tuple(tuple(int(s) for s in op.shape) for op in operands)
+        result = np.einsum(
+            subscripts, *operands, optimize=_cached_einsum_path(subscripts, shapes)
+        )
         if self.flop_counter is not None:
-            # Deferred import: the contraction-path module lives above the
-            # backend layer in the package graph.
-            from repro.tensornetwork.contraction_path import find_path
-            from repro.tensornetwork.einsum_spec import parse_einsum
-
-            try:
-                spec = parse_einsum(subscripts, n_operands=len(operands))
-                info = find_path(spec, [op.shape for op in operands], strategy="greedy")
-                self.flop_counter.add("einsum", info.total_flops)
-            except ValueError:
+            flops = _cached_einsum_flops(subscripts, shapes)
+            if flops is None:
                 # Subscripts outside the lightweight parser's grammar
                 # (e.g. ellipsis): fall back to a crude volume bound.
                 volume = float(np.prod([max(op.size, 1) for op in operands]))
-                self.flop_counter.add("einsum", 8.0 * volume)
+                flops = 8.0 * volume
+            self.flop_counter.add("einsum", flops)
         return result
 
     def tensordot(self, a: np.ndarray, b: np.ndarray, axes) -> np.ndarray:
@@ -170,6 +167,48 @@ class NumPyBackend(Backend):
 
     def from_local(self, array: np.ndarray, dtype: Optional[np.dtype] = None) -> np.ndarray:
         return self.astensor(array, dtype=dtype)
+
+
+#: Zero-storage scalar whose broadcast views stand in for real operands when
+#: planning contraction paths (``einsum_path`` only inspects shapes).
+_PATH_PROBE = np.empty((), dtype=np.complex128)
+
+
+@lru_cache(maxsize=4096)
+def _cached_einsum_path(subscripts: str, shapes: Tuple[Tuple[int, ...], ...]):
+    """Contraction path for ``(subscripts, shapes)``, planned once and reused.
+
+    The einsum calls inside the boundary-contraction hot loops repeat the same
+    few subscript/shape combinations thousands of times; re-planning the path
+    on every call (``optimize=True``) is measurable overhead.
+    """
+    probes = [np.broadcast_to(_PATH_PROBE, shape) for shape in shapes]
+    try:
+        return np.einsum_path(subscripts, *probes, optimize="greedy")[0]
+    except Exception:
+        # Exotic subscripts the planner rejects: let numpy decide per call.
+        return True
+
+
+@lru_cache(maxsize=4096)
+def _cached_einsum_flops(
+    subscripts: str, shapes: Tuple[Tuple[int, ...], ...]
+) -> Optional[float]:
+    """Greedy-path flop estimate for the flop counter, cached like the path.
+
+    Returns ``None`` for subscripts the lightweight parser cannot handle.
+    """
+    # Deferred import: the contraction-path module lives above the backend
+    # layer in the package graph.
+    from repro.tensornetwork.contraction_path import find_path
+    from repro.tensornetwork.einsum_spec import parse_einsum
+
+    try:
+        spec = parse_einsum(subscripts, n_operands=len(shapes))
+        info = find_path(spec, list(shapes), strategy="greedy")
+        return float(info.total_flops)
+    except ValueError:
+        return None
 
 
 def _normalize_tensordot_axes(ndim_a: int, axes) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:

@@ -11,6 +11,19 @@ The module-level constructors mirror the Koala API of the paper::
     qstate.apply_operator(CX, [1, 4], QRUpdate(rank=2))
     result = qstate.expectation(H, use_cache=True,
                                 contract_option=BMPS(ImplicitRandomizedSVD(rank=4)))
+
+Cached contraction state lives in the pluggable environment subsystem
+(:mod:`repro.peps.envs`).  An :class:`~repro.peps.envs.base.Environment`
+(``EnvExact`` or ``EnvBoundaryMPS``) owns the upper/lower boundary MPS lists
+of the ``<psi|psi>`` sandwich, invalidates them *incrementally* when operator
+applications touch lattice rows, and serves norms, multi-term expectation
+values, batched ``measure_1site``/``measure_2site`` passes, and basis-state
+``sample`` draws from the same caches::
+
+    env = qstate.attach_environment(BMPS(ImplicitRandomizedSVD(rank=4)))
+    qstate.expectation(H)                 # incremental boundary reuse
+    env.measure_1site(Z)                  # all sites in one cached pass
+    env.sample(rng=0, nshots=100)         # computational-basis samples
 """
 
 from repro.peps.peps import (
@@ -41,6 +54,12 @@ from repro.peps.expectation import (
     expectation_value,
     expectation_via_evolution,
 )
+from repro.peps.envs import (
+    EnvBoundaryMPS,
+    EnvExact,
+    Environment,
+    make_environment,
+)
 
 __all__ = [
     "PEPS",
@@ -63,4 +82,8 @@ __all__ = [
     "EnvironmentCache",
     "expectation_value",
     "expectation_via_evolution",
+    "Environment",
+    "EnvExact",
+    "EnvBoundaryMPS",
+    "make_environment",
 ]

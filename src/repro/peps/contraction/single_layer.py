@@ -22,6 +22,7 @@ from repro.mps.apply import apply_mpo_exact, apply_mpo_zipup
 from repro.mps.mpo import MPO
 from repro.mps.mps import MPS
 from repro.peps.contraction.options import BMPS, ContractOption, Exact
+from repro.peps.contraction.stats import count_row_absorption
 
 
 def _row_to_mps(backend: Backend, row: Sequence) -> MPS:
@@ -62,6 +63,7 @@ def single_layer_boundary_sweep(
         raise ValueError("cannot contract an empty PEPS")
     boundary = _row_to_mps(backend, grid[0])
     for i in range(1, nrow):
+        count_row_absorption()
         mpo = _row_to_mpo(backend, grid[i])
         if isinstance(option, Exact):
             boundary = apply_mpo_exact(boundary, mpo)

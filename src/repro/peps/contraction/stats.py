@@ -1,0 +1,28 @@
+"""Global work counters for PEPS boundary contractions.
+
+One *row absorption* — absorbing a lattice row into a boundary MPS, whether
+as a two-layer ``<psi|psi>`` sandwich row or as a single-layer MPO
+application — is the dominant cost unit of every PEPS contraction.  The
+counter lets tests and benchmarks compare algorithm variants by the number of
+absorptions they perform instead of wall-clock noise (e.g. that an ITE sweep
+holding one persistent environment performs strictly fewer absorptions than
+per-step rebuilds).
+"""
+
+from __future__ import annotations
+
+_COUNTS = {"row_absorptions": 0}
+
+
+def count_row_absorption(n: int = 1) -> None:
+    """Record ``n`` boundary row absorptions."""
+    _COUNTS["row_absorptions"] += n
+
+
+def absorption_count() -> int:
+    """Total row absorptions (two-layer sandwich and single-layer MPO) since reset."""
+    return _COUNTS["row_absorptions"]
+
+
+def reset_absorption_count() -> None:
+    _COUNTS["row_absorptions"] = 0

@@ -28,6 +28,7 @@ from repro.backends import get_backend
 from repro.backends.interface import Backend
 from repro.peps.contraction.options import BMPS, ContractOption, Exact, TwoLayerBMPS
 from repro.peps.contraction.single_layer import contract_single_layer
+from repro.peps.contraction.stats import count_row_absorption
 from repro.tensornetwork.einsumsvd import EinsumSVDOption, ExplicitSVD, einsumsvd
 
 #: Site tensor index order (shared with repro.peps.update).
@@ -84,6 +85,7 @@ def absorb_sandwich_row(
     The new boundary, whose physical legs are the row's far-side vertical
     legs.
     """
+    count_row_absorption()
     backend = get_backend(backend)
     ncol = len(boundary)
     if len(ket_row) != ncol or len(bra_row) != ncol:

@@ -1,0 +1,42 @@
+"""Pluggable PEPS environment subsystem.
+
+An environment owns the cached boundary contraction state of one PEPS and
+serves every quantity that benefits from it — norms, multi-term expectation
+values, batched single/two-site measurements, and basis-state sampling —
+with incremental dirty-row invalidation so that local updates only recompute
+the touched sweep segments::
+
+    from repro import peps
+    from repro.peps import BMPS
+    from repro.peps.envs import EnvBoundaryMPS
+    from repro.tensornetwork import ImplicitRandomizedSVD
+
+    state = peps.random_peps(4, 4, bond_dim=2, seed=0)
+    env = state.attach_environment(BMPS(ImplicitRandomizedSVD(rank=8, seed=0)))
+    energy = env.expectation(H)            # builds the boundary caches
+    state.apply_operator(CX, [1, 5])       # marks only rows 0-1 dirty
+    energy = env.expectation(H)            # recomputes just the dirty segments
+    magnetization = env.measure_1site(Z)   # all sites, one cached pass
+    shots = env.sample(rng=0, nshots=100)  # basis-state samples
+"""
+
+from repro.peps.envs.base import Environment, EnvStats, local_terms
+from repro.peps.envs.boundary import BoundaryEnvironment, option_signature
+from repro.peps.envs.boundary_mps import EnvBoundaryMPS, make_environment
+from repro.peps.envs.exact import EnvExact
+from repro.peps.envs.sampling import sample_bitstrings
+from repro.peps.envs.strip import operator_pieces, strip_value
+
+__all__ = [
+    "Environment",
+    "EnvStats",
+    "BoundaryEnvironment",
+    "EnvExact",
+    "EnvBoundaryMPS",
+    "make_environment",
+    "option_signature",
+    "local_terms",
+    "sample_bitstrings",
+    "operator_pieces",
+    "strip_value",
+]

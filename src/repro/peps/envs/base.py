@@ -1,0 +1,153 @@
+"""The abstract PEPS environment protocol.
+
+An :class:`Environment` owns the cached contraction state of a single PEPS —
+typically the upper/lower boundary MPS lists of the ``<psi|psi>`` sandwich
+(Section IV-B of the paper) — and exposes every operation that benefits from
+that cache:
+
+* ``norm`` / ``norm_sq`` — the state norm from the cached boundaries,
+* ``expectation(terms)`` — a sum of local terms evaluated with one shared
+  pair of boundary sweeps instead of one full contraction per term,
+* ``measure_1site`` / ``measure_2site`` — batched local measurements of all
+  requested sites/pairs in one cached pass,
+* ``sample`` — basis-state sampling via conditional single-layer
+  contractions that reuse the cached lower environments across shots.
+
+Environments support *incremental dirty-row invalidation*:
+:meth:`Environment.invalidate` marks a set of lattice rows stale, and a
+subsequent query recomputes only the invalidated sweep segments instead of
+all ``O(nrow)`` row absorptions.  :class:`~repro.peps.peps.PEPS` calls
+``invalidate`` automatically from its operator-application paths when an
+environment is attached via :meth:`~repro.peps.peps.PEPS.attach_environment`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+
+@dataclass
+class EnvStats:
+    """Counters describing the work an environment has performed.
+
+    ``row_absorptions`` is the load-bearing one: each unit is one boundary-MPS
+    row absorption (the dominant cost of every PEPS contraction), so it
+    measures how much recomputation the incremental invalidation saved.
+    """
+
+    row_absorptions: int = 0
+    strip_contractions: int = 0
+    invalidations: int = 0
+    norm_evaluations: int = 0
+
+    def reset(self) -> None:
+        self.row_absorptions = 0
+        self.strip_contractions = 0
+        self.invalidations = 0
+        self.norm_evaluations = 0
+
+
+def local_terms(observable) -> List[Tuple[Tuple[int, ...], np.ndarray]]:
+    """Local terms as ``(sites, matrix)`` pairs for every supported operator type.
+
+    Accepts an :class:`~repro.operators.observable.Observable`, a
+    :class:`~repro.operators.hamiltonians.Hamiltonian`, or an explicit
+    iterable of ``(sites, matrix)`` pairs.
+    """
+    from repro.operators.hamiltonians import Hamiltonian
+    from repro.operators.observable import Observable
+
+    if isinstance(observable, Observable):
+        return observable.local_terms()
+    if isinstance(observable, Hamiltonian):
+        return [(term.sites, term.matrix) for term in observable.terms]
+    if isinstance(observable, (list, tuple)):
+        return [(tuple(sites), np.asarray(matrix)) for sites, matrix in observable]
+    raise TypeError(f"unsupported observable type {type(observable)!r}")
+
+
+class Environment(abc.ABC):
+    """Protocol for cached contraction environments of one PEPS state."""
+
+    #: the PEPS this environment belongs to
+    peps = None
+    #: work counters
+    stats: EnvStats
+
+    # ------------------------------------------------------------------ #
+    # Cache lifecycle
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def build(self) -> "Environment":
+        """Eagerly compute every cached boundary (queries build lazily otherwise)."""
+
+    @abc.abstractmethod
+    def invalidate(self, rows: Optional[Iterable[int]] = None) -> None:
+        """Mark the given lattice rows (default: all) as stale.
+
+        Cached boundaries that absorbed a stale row are recomputed on the next
+        query; everything else is reused.
+        """
+
+    def rescale_cached(self, factor: complex) -> None:
+        """Account for an in-place scaling of *every* site tensor by ``factor``.
+
+        The default implementation conservatively invalidates the whole cache;
+        concrete environments rescale their cached boundaries analytically so
+        that in-place normalization keeps the cache warm.
+        """
+        self.invalidate()
+
+    @abc.abstractmethod
+    def accepts(self, contract_option) -> bool:
+        """Whether this environment implements the given contraction option."""
+
+    # ------------------------------------------------------------------ #
+    # Cached queries
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def norm_sq(self) -> complex:
+        """``<psi|psi>`` from the cached boundaries."""
+
+    def norm(self) -> float:
+        """``sqrt(<psi|psi>)``."""
+        return float(np.sqrt(max(float(np.real(self.norm_sq())), 0.0)))
+
+    @abc.abstractmethod
+    def expectation(self, observable, normalized: bool = True) -> float:
+        """``<psi|O|psi>`` for a sum of local terms, sharing one boundary pair."""
+
+    @abc.abstractmethod
+    def measure_1site(
+        self,
+        operator,
+        sites: Optional[Sequence[int]] = None,
+        normalized: bool = True,
+    ) -> Dict[int, Union[float, complex]]:
+        """Batched ``<O_s>`` for every requested site in one cached pass.
+
+        Values are normalized real floats; ``normalized=False`` returns the
+        raw complex strip values.
+        """
+
+    @abc.abstractmethod
+    def measure_2site(
+        self,
+        operator_a,
+        operator_b=None,
+        pairs: Optional[Sequence[Tuple[int, int]]] = None,
+        normalized: bool = True,
+    ) -> Dict[Tuple[int, int], Union[float, complex]]:
+        """Batched two-site expectation values over site pairs.
+
+        Values are normalized real floats; ``normalized=False`` returns the
+        raw complex strip values.
+        """
+
+    @abc.abstractmethod
+    def sample(self, rng=None, nshots: int = 1) -> np.ndarray:
+        """Draw computational-basis samples ``~ |<b|psi>|^2 / <psi|psi>``."""

@@ -1,0 +1,394 @@
+"""Boundary-MPS environments with incremental dirty-row invalidation.
+
+:class:`BoundaryEnvironment` caches the upper and lower boundary MPS lists of
+the ``<psi|psi>`` sandwich keyed by row:
+
+* ``upper[i]`` has absorbed rows ``0..i-1`` from the top (``i = 0..nrow``),
+* ``lower[i]`` has absorbed rows ``i+1..nrow-1`` from below (``i = 0..nrow-1``).
+
+Both are built lazily and *incrementally*: touching row ``r`` (via
+:meth:`invalidate`) stales only ``upper[i]`` for ``i > r`` and ``lower[i]``
+for ``i < r``, so a subsequent query recomputes just the invalidated sweep
+segments.  Exact environments close the norm at the cheapest valid
+upper/lower pair (all closures are the same scalar); truncated environments
+always close the full top sweep, so the norm stays a deterministic function
+of (state, option) — bit-identical with the seed's ``EnvironmentCache`` —
+independent of cache history.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.peps.contraction.options import BMPS, ContractOption, Exact
+from repro.peps.contraction.two_layer import (
+    absorb_sandwich_row,
+    close_boundaries,
+    trivial_boundary,
+)
+from repro.peps.envs.base import Environment, EnvStats, local_terms
+from repro.peps.envs.sampling import sample_bitstrings
+from repro.peps.envs.strip import site_density, strip_value, transfer_left, transfer_right
+from repro.tensornetwork.einsumsvd import EinsumSVDOption
+
+
+def option_signature(contract_option: Optional[ContractOption]) -> Tuple:
+    """Hashable signature of the truncation behaviour a contraction option implies.
+
+    Two options with equal signatures produce identical boundary environments,
+    so an attached environment can be reused for either.
+    """
+    if contract_option is None or isinstance(contract_option, Exact):
+        return ("exact", None)
+    if isinstance(contract_option, BMPS):
+        svd = contract_option.resolved_svd_option()
+        return _svd_signature(svd, svd.rank)
+    raise TypeError(
+        f"unsupported contraction option {type(contract_option).__name__} for environments"
+    )
+
+
+def _svd_signature(svd_option: Optional[EinsumSVDOption], max_bond: Optional[int]) -> Tuple:
+    if svd_option is None:
+        return ("exact", None)
+    return (
+        type(svd_option).__name__,
+        max_bond,
+        svd_option.cutoff,
+        getattr(svd_option, "niter", None),
+        getattr(svd_option, "oversample", None),
+        getattr(svd_option, "seed", None),
+    )
+
+
+class BoundaryEnvironment(Environment):
+    """Cached upper/lower boundary environments of one PEPS, incrementally updated.
+
+    Parameters
+    ----------
+    peps:
+        The :class:`~repro.peps.peps.PEPS` state the environment tracks.
+    svd_option:
+        ``einsumsvd`` option for the zip-up row absorptions; ``None`` absorbs
+        exactly (bond dimensions multiply — small lattices only).
+    max_bond:
+        Boundary truncation bond ``m`` (defaults to ``svd_option.rank``).
+    """
+
+    def __init__(
+        self,
+        peps,
+        svd_option: Optional[EinsumSVDOption] = None,
+        max_bond: Optional[int] = None,
+    ) -> None:
+        self.peps = peps
+        self.svd_option = svd_option
+        if max_bond is None and svd_option is not None:
+            max_bond = svd_option.rank
+        self.max_bond = max_bond
+        self.signature = _svd_signature(svd_option, max_bond)
+        self.stats = EnvStats()
+        nrow = peps.nrow
+        backend = peps.backend
+        self._upper: List = [trivial_boundary(backend, peps.ncol)] + [None] * nrow
+        self._lower: List = [None] * (nrow - 1) + [trivial_boundary(backend, peps.ncol)]
+        self._upper_valid = 0          # upper[0..k] are valid
+        self._lower_valid = nrow - 1   # lower[k..nrow-1] are valid
+        self._norm_sq: Optional[complex] = None
+
+    # ------------------------------------------------------------------ #
+    # Cache lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def backend(self):
+        return self.peps.backend
+
+    @property
+    def nrow(self) -> int:
+        return self.peps.nrow
+
+    @property
+    def ncol(self) -> int:
+        return self.peps.ncol
+
+    def accepts(self, contract_option: Optional[ContractOption]) -> bool:
+        """Whether a caller's contraction option can be served by this environment.
+
+        ``None`` means "no preference" and is always accepted: once an
+        environment is attached, it governs the state's default contraction
+        behaviour (a truncated environment makes default queries truncated).
+        Pass an explicit option — or ``use_cache=False`` — to override.
+        """
+        if contract_option is None:
+            return True
+        try:
+            return option_signature(contract_option) == self.signature
+        except TypeError:
+            return False
+
+    def invalidate(self, rows: Optional[Iterable[int]] = None) -> None:
+        self.stats.invalidations += 1
+        if rows is None:
+            self._upper_valid = 0
+            self._lower_valid = self.nrow - 1
+        else:
+            for r in rows:
+                r = int(r)
+                if not (0 <= r < self.nrow):
+                    raise ValueError(f"row {r} outside a lattice with {self.nrow} rows")
+                self._upper_valid = min(self._upper_valid, r)
+                self._lower_valid = max(self._lower_valid, r)
+        self._norm_sq = None
+
+    def build(self) -> "BoundaryEnvironment":
+        self.ensure_upper(self.nrow)
+        self.ensure_lower(0)
+        return self
+
+    def _absorb(self, boundary, row: int, from_below: bool = False):
+        self.stats.row_absorptions += 1
+        return absorb_sandwich_row(
+            boundary,
+            self.peps.grid[row],
+            self.peps.grid[row],
+            option=self.svd_option,
+            max_bond=self.max_bond,
+            backend=self.backend,
+            from_below=from_below,
+        )
+
+    def ensure_upper(self, i: int):
+        """Validate and return ``upper[i]`` (rows ``0..i-1`` absorbed from the top)."""
+        if not (0 <= i <= self.nrow):
+            raise ValueError(f"upper boundary index {i} outside 0..{self.nrow}")
+        while self._upper_valid < i:
+            k = self._upper_valid
+            self._upper[k + 1] = self._absorb(self._upper[k], k)
+            self._upper_valid += 1
+        return self._upper[i]
+
+    def ensure_lower(self, i: int):
+        """Validate and return ``lower[i]`` (rows ``i+1..nrow-1`` absorbed from below)."""
+        if not (0 <= i <= self.nrow - 1):
+            raise ValueError(f"lower boundary index {i} outside 0..{self.nrow - 1}")
+        while self._lower_valid > i:
+            k = self._lower_valid
+            self._lower[k - 1] = self._absorb(self._lower[k], k, from_below=True)
+            self._lower_valid -= 1
+        return self._lower[i]
+
+    def rescale_cached(self, factor: complex) -> None:
+        """Rescale cached boundaries after every site tensor was scaled by ``factor``.
+
+        A boundary that absorbed ``k`` sites (ket and bra layers) scales by
+        ``|factor|^(2k)``, so the cache stays warm through in-place
+        normalization instead of being invalidated.
+        """
+        layer = complex(factor) * np.conj(complex(factor))  # per ket+bra site pair
+        ncol = self.ncol
+        for i in range(1, self._upper_valid + 1):
+            scale = layer ** (i * ncol)
+            boundary = self._upper[i]
+            self._upper[i] = [boundary[0] * scale] + list(boundary[1:])
+        for i in range(self._lower_valid, self.nrow - 1):
+            scale = layer ** ((self.nrow - 1 - i) * ncol)
+            boundary = self._lower[i]
+            self._lower[i] = [boundary[0] * scale] + list(boundary[1:])
+        if self._norm_sq is not None:
+            self._norm_sq = self._norm_sq * layer ** self.peps.n_sites
+
+    # ------------------------------------------------------------------ #
+    # Cached queries
+    # ------------------------------------------------------------------ #
+    def norm_sq(self) -> complex:
+        if self._norm_sq is None:
+            self.stats.norm_evaluations += 1
+            if self.svd_option is None:
+                # Exact absorptions: every upper[i]/lower[i-1] closure is the
+                # same scalar, so close the pair needing the fewest new
+                # absorptions (ties prefer the larger meeting row, matching
+                # the seed's upper[nrow] x trivial closure on a cold cache).
+                best_i, best_cost = None, None
+                for i in range(self.nrow, 0, -1):
+                    cost = max(0, i - self._upper_valid) + max(0, self._lower_valid - (i - 1))
+                    if best_cost is None or cost < best_cost:
+                        best_i, best_cost = i, cost
+            else:
+                # Truncated absorptions: different meeting rows give slightly
+                # different estimates, so always close the full top sweep to
+                # keep the norm a deterministic function of (state, option)
+                # regardless of cache/invalidation history.
+                best_i = self.nrow
+            upper = self.ensure_upper(best_i)
+            lower = self.ensure_lower(best_i - 1)
+            self._norm_sq = close_boundaries(self.backend, upper, lower)
+        return self._norm_sq
+
+    def expectation(self, observable, normalized: bool = True) -> float:
+        terms = local_terms(observable)
+        # The norm is only needed for normalization and zero-site (constant)
+        # terms; avoid forcing a full top sweep for unnormalized local sums.
+        norm_sq = self.norm_sq() if normalized else None
+        total = 0.0 + 0.0j
+        for sites, matrix in terms:
+            if len(sites) == 0:
+                if norm_sq is None:
+                    norm_sq = self.norm_sq()
+                total += complex(matrix[0, 0]) * norm_sq
+                continue
+            r0, r1, _ = self._term_rows(sites)
+            upper = self.ensure_upper(r0)
+            lower = self.ensure_lower(r1)
+            self.stats.strip_contractions += 1
+            total += strip_value(self.peps, upper, lower, r0, r1, sites, matrix)
+        value = total / norm_sq if normalized else total
+        return float(np.real(value))
+
+    def measure_1site(
+        self,
+        operator,
+        sites: Optional[Sequence[int]] = None,
+        normalized: bool = True,
+    ) -> Dict[int, Union[float, complex]]:
+        """Batched single-site expectation values, one cached pass per lattice row.
+
+        ``operator`` is either one ``d x d`` matrix applied at every requested
+        site or a mapping ``site -> matrix``; ``sites`` defaults to all sites
+        (or the mapping's keys).  Each row costs ``O(ncol)`` transfer
+        contractions regardless of how many of its sites are measured.
+        """
+        peps = self.peps
+        if isinstance(operator, dict):
+            op_map = {int(s): np.asarray(m, dtype=np.complex128) for s, m in operator.items()}
+            wanted = sorted(op_map) if sites is None else [int(s) for s in sites]
+            missing = [s for s in wanted if s not in op_map]
+            if missing:
+                raise ValueError(f"no operator given for sites {missing}")
+        else:
+            matrix = np.asarray(operator, dtype=np.complex128)
+            wanted = list(range(peps.n_sites)) if sites is None else [int(s) for s in sites]
+            op_map = {s: matrix for s in wanted}
+        # Duplicate requested sites would desynchronize the per-row zip
+        # against the deduplicated column densities.
+        wanted = sorted(set(wanted))
+
+        norm_sq = self.norm_sq() if normalized else None
+        by_row: Dict[int, List[int]] = {}
+        for s in wanted:
+            r, _ = peps.site_position(s)
+            by_row.setdefault(r, []).append(s)
+
+        out: Dict[int, float] = {}
+        for r in sorted(by_row):
+            row_sites = sorted(by_row[r], key=lambda s: peps.site_position(s)[1])
+            cols = [peps.site_position(s)[1] for s in row_sites]
+            densities = self._row_densities(r, cols)
+            for s, rho in zip(row_sites, densities):
+                value = complex(np.sum(op_map[s] * rho))
+                out[s] = float(np.real(value / norm_sq)) if normalized else value
+        return out
+
+    def measure_2site(
+        self,
+        operator_a,
+        operator_b=None,
+        pairs: Optional[Sequence[Tuple[int, int]]] = None,
+        normalized: bool = True,
+    ) -> Dict[Tuple[int, int], Union[float, complex]]:
+        """Batched two-site expectation values over site pairs.
+
+        ``operator_a``/``operator_b`` are ``d x d`` single-site factors (the
+        pair operator is their Kronecker product with the first site of each
+        pair as the most significant qubit); alternatively pass one full
+        ``d^2 x d^2`` matrix as ``operator_a``.  ``pairs`` defaults to all
+        nearest-neighbour pairs.  The environments are built once and every
+        pair costs only one strip contraction.
+        """
+        peps = self.peps
+        if operator_b is not None:
+            matrix = np.kron(
+                np.asarray(operator_a, dtype=np.complex128),
+                np.asarray(operator_b, dtype=np.complex128),
+            )
+        else:
+            matrix = np.asarray(operator_a, dtype=np.complex128)
+        if pairs is None:
+            pairs = []
+            for r in range(peps.nrow):
+                for c in range(peps.ncol):
+                    s = r * peps.ncol + c
+                    if c + 1 < peps.ncol:
+                        pairs.append((s, s + 1))
+                    if r + 1 < peps.nrow:
+                        pairs.append((s, s + peps.ncol))
+
+        norm_sq = self.norm_sq() if normalized else None
+        out: Dict[Tuple[int, int], float] = {}
+        for pair in pairs:
+            sa, sb = int(pair[0]), int(pair[1])
+            r0, r1, _ = self._term_rows((sa, sb))
+            upper = self.ensure_upper(r0)
+            lower = self.ensure_lower(r1)
+            self.stats.strip_contractions += 1
+            value = strip_value(self.peps, upper, lower, r0, r1, (sa, sb), matrix)
+            out[(sa, sb)] = float(np.real(value / norm_sq)) if normalized else value
+        return out
+
+    def sample(self, rng=None, nshots: int = 1) -> np.ndarray:
+        """Basis-state samples via conditional single-layer contractions.
+
+        Returns an integer array of shape ``(nshots, n_sites)`` (row-major
+        site order).  The cached lower environments are shared by all shots;
+        only the per-shot projected upper boundaries are recomputed.
+        """
+        return sample_bitstrings(self, rng=rng, nshots=nshots)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _term_rows(self, sites: Sequence[int]) -> Tuple[int, int, List[Tuple[int, int]]]:
+        positions = [self.peps.site_position(s) for s in sites]
+        rows = [r for r, _ in positions]
+        r0, r1 = min(rows), max(rows)
+        if r1 - r0 > 1:
+            raise ValueError(
+                f"term on sites {tuple(sites)} spans rows {r0}..{r1}; only terms within "
+                f"two adjacent rows are supported"
+            )
+        return r0, r1, positions
+
+    def _row_densities(self, r: int, cols: Sequence[int]) -> List[np.ndarray]:
+        """Local reduced density matrices ``rho[bra, ket]`` for sites of row ``r``.
+
+        One left-to-right and one right-to-left transfer sweep over the strip
+        ``upper[r] x row r x lower[r]`` serves every requested column.
+        """
+        b = self.backend
+        ncol = self.ncol
+        upper = self.ensure_upper(r)
+        lower = self.ensure_lower(r)
+        kets = self.peps.grid[r]
+        bras = [b.conj(t) for t in kets]
+        cols = sorted(set(int(c) for c in cols))
+        if not cols:
+            return []
+
+        right: List = [None] * (ncol + 1)
+        right[ncol] = b.ones((1, 1, 1, 1))
+        for c in range(ncol - 1, cols[0], -1):
+            right[c] = transfer_right(b, upper[c], kets[c], bras[c], lower[c], right[c + 1])
+
+        out: List[np.ndarray] = []
+        want = set(cols)
+        left = b.ones((1, 1, 1, 1))
+        for c in range(cols[-1] + 1):
+            if c in want:
+                rho = site_density(
+                    b, left, upper[c], kets[c], bras[c], lower[c], right[c + 1]
+                )
+                out.append(np.asarray(b.asarray(rho)))
+            if c < cols[-1]:
+                left = transfer_left(b, left, upper[c], kets[c], bras[c], lower[c])
+        return out

@@ -1,0 +1,52 @@
+"""Truncated boundary-MPS environment (BMPS / IBMPS zip-up)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.peps.contraction.options import BMPS, ContractOption, Exact
+from repro.peps.envs.boundary import BoundaryEnvironment
+
+
+class EnvBoundaryMPS(BoundaryEnvironment):
+    """Environment wrapping the zip-up / IBMPS row-absorption machinery.
+
+    The flavour is decided by the :class:`~repro.peps.contraction.options.BMPS`
+    option's embedded ``einsumsvd`` option: an explicit SVD gives the classic
+    boundary MPS, an implicit randomized SVD the paper's IBMPS.  The
+    truncation bond ``m`` is ``option.truncation_bond``.
+    """
+
+    def __init__(self, peps, contract_option: Optional[ContractOption] = None) -> None:
+        option = contract_option if contract_option is not None else BMPS()
+        if not isinstance(option, BMPS):
+            raise TypeError(
+                f"EnvBoundaryMPS needs a BMPS-style contraction option, "
+                f"got {type(option).__name__}"
+            )
+        svd = option.resolved_svd_option()
+        super().__init__(peps, svd_option=svd, max_bond=svd.rank)
+        self.contract_option = option
+
+    def __repr__(self) -> str:
+        return f"EnvBoundaryMPS({self.peps!r}, {self.contract_option.describe()})"
+
+
+def make_environment(peps, contract_option: Optional[ContractOption] = None):
+    """Build the environment matching a contraction option.
+
+    ``None`` and :class:`~repro.peps.contraction.options.Exact` give an
+    :class:`~repro.peps.envs.exact.EnvExact`; any
+    :class:`~repro.peps.contraction.options.BMPS` (including
+    :class:`~repro.peps.contraction.options.TwoLayerBMPS`) gives an
+    :class:`EnvBoundaryMPS` — boundary sandwiches are inherently two-layer.
+    """
+    from repro.peps.envs.exact import EnvExact
+
+    if contract_option is None or isinstance(contract_option, Exact):
+        return EnvExact(peps)
+    if isinstance(contract_option, BMPS):
+        return EnvBoundaryMPS(peps, contract_option)
+    raise TypeError(
+        f"unsupported contraction option {type(contract_option).__name__} for environments"
+    )

@@ -1,0 +1,20 @@
+"""Exact (untruncated) boundary environment."""
+
+from __future__ import annotations
+
+from repro.peps.envs.boundary import BoundaryEnvironment
+
+
+class EnvExact(BoundaryEnvironment):
+    """Environment whose row absorptions are exact: boundary bonds multiply.
+
+    The cost grows exponentially with the lattice height, so this is the
+    reference implementation for small lattices (parity tests, sampling
+    statistics) and the baseline truncated environments are compared against.
+    """
+
+    def __init__(self, peps) -> None:
+        super().__init__(peps, svd_option=None, max_bond=None)
+
+    def __repr__(self) -> str:
+        return f"EnvExact({self.peps!r})"

@@ -1,0 +1,193 @@
+"""Strip contractions: one local term between cached boundary environments.
+
+Given an upper boundary (rows ``0..r0-1`` absorbed) and a lower boundary
+(rows ``r1+1..nrow-1`` absorbed), the value of ``<psi| H_term |psi>`` reduces
+to contracting the short strip of rows ``r0..r1`` with the term's operator
+inserted between the layers (Figure 6 of the paper).  This module hosts the
+strip machinery shared by every boundary environment and the legacy
+``expectation_value`` path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.tensornetwork.network import contract_network
+
+# --------------------------------------------------------------------- #
+# Row-strip transfer contractions, shared by batched measurement and
+# sampling.  Leg convention of the horizontal environment ``E``:
+# ``(upper boundary bond, ket horizontal bond, bra horizontal bond, lower
+# boundary bond)``.  Boundary tensors are ``(left, ket phys, bra phys,
+# right)``; site tensors ``(phys, up, left, down, right)``.
+# --------------------------------------------------------------------- #
+
+
+def transfer_right(backend, upper, ket, bra, lower, right):
+    """Absorb one traced column (phys legs contracted) into a right environment."""
+    return backend.einsum(
+        "auwx,puedg,pwfhs,bdhy,xgsy->aefb", upper, ket, bra, lower, right
+    )
+
+
+def transfer_left(backend, left, upper, ket, bra, lower):
+    """Absorb one traced column into a left environment."""
+    return backend.einsum(
+        "aefb,auwx,puedg,pwfhs,bdhy->xgsy", left, upper, ket, bra, lower
+    )
+
+
+def transfer_left_projected(backend, left, upper, proj_ket, proj_bra, lower):
+    """Absorb one basis-projected column (no phys legs) into a left environment."""
+    return backend.einsum(
+        "aefb,auwx,uedg,wfhs,bdhy->xgsy", left, upper, proj_ket, proj_bra, lower
+    )
+
+
+def site_density(backend, left, upper, ket, bra, lower, right):
+    """Local reduced density matrix ``rho[bra phys, ket phys]`` of one column."""
+    return backend.einsum(
+        "aefb,auwx,puedg,qwfhs,bdhy,xgsy->qp", left, upper, ket, bra, lower, right
+    )
+
+
+def operator_pieces(
+    sites: Sequence[int],
+    matrix: np.ndarray,
+    positions: Sequence[Tuple[int, int]],
+) -> Dict[Tuple[int, int], List[Tuple[np.ndarray, object, object]]]:
+    """Split a term operator into per-site pieces with a shared internal bond.
+
+    Every piece is a 4-mode array ``(kappa_in, out, in, kappa_out)``; for a
+    single-site term the kappa legs have dimension 1, for a two-site term the
+    operator Schmidt decomposition links the two pieces through a bond of
+    dimension at most ``d^2``.
+
+    Returns a mapping ``(row, col) -> list of (piece, kappa_in_label, kappa_out_label)``.
+    """
+    matrix = np.asarray(matrix, dtype=np.complex128)
+    pieces: Dict[Tuple[int, int], List[Tuple[np.ndarray, object, object]]] = {}
+    if len(sites) == 1:
+        d = matrix.shape[0]
+        piece = matrix.reshape(1, d, d, 1)
+        pieces.setdefault(positions[0], []).append((piece, ("kap", id(matrix), 0), ("kap", id(matrix), 1)))
+        return pieces
+    if len(sites) == 2:
+        d = int(np.sqrt(matrix.shape[0]))
+        # G[i1 i2, j1 j2] -> G[i1, j1, i2, j2] -> matrix ((i1 j1), (i2 j2))
+        tensor = matrix.reshape(d, d, d, d).transpose(0, 2, 1, 3)
+        mat = tensor.reshape(d * d, d * d)
+        u, s, vh = np.linalg.svd(mat, full_matrices=False)
+        keep = int(np.count_nonzero(s > s[0] * 1e-14)) if s[0] > 0 else 1
+        keep = max(keep, 1)
+        root = np.sqrt(s[:keep])
+        a = (u[:, :keep] * root).reshape(d, d, keep)          # (i1, j1, kappa)
+        bpart = (root[:, None] * vh[:keep, :]).reshape(keep, d, d)  # (kappa, i2, j2)
+        kap = ("kap", id(matrix), "bond")
+        dangle_a = ("kap", id(matrix), "a")
+        dangle_b = ("kap", id(matrix), "b")
+        piece_a = a.reshape(d, d, keep)[np.newaxis, ...]       # (1, i1, j1, kappa)
+        piece_b = bpart.reshape(keep, d, d)[..., np.newaxis]   # (kappa, i2, j2, 1)
+        pieces.setdefault(positions[0], []).append((piece_a, dangle_a, kap))
+        pieces.setdefault(positions[1], []).append((piece_b, kap, dangle_b))
+        return pieces
+    raise ValueError(f"terms on {len(sites)} sites are not supported")
+
+
+def strip_value(
+    peps,
+    upper: Sequence,
+    lower: Sequence,
+    r0: int,
+    r1: int,
+    sites: Sequence[int],
+    matrix: np.ndarray,
+) -> complex:
+    """Contract (upper env) x (rows r0..r1 with the term inserted) x (lower env).
+
+    The strip is contracted column by column; the per-column contraction runs
+    through :func:`contract_network`, so intermediate sizes stay bounded by
+    ``(boundary bond)^2 x (PEPS bond)^(2*height)`` times small factors.
+    """
+    backend = peps.backend
+    ncol = peps.ncol
+    rows = list(range(r0, r1 + 1))
+    positions = [peps.site_position(s) for s in sites]
+    for (r, _c) in positions:
+        if not (r0 <= r <= r1):
+            raise ValueError("term site outside the strip rows")
+    piece_map = operator_pieces(sites, matrix, positions)
+
+    env = None
+    env_labels: Tuple = ()
+    pending: List = []  # kappa labels crossing column boundaries
+
+    for j in range(ncol):
+        operands = []
+        inputs = []
+
+        # Upper boundary tensor.
+        operands.append(upper[j])
+        inputs.append((("ub", j), ("uk", j), ("ubra", j), ("ub", j + 1)))
+
+        # Lower boundary tensor.
+        operands.append(lower[j])
+        inputs.append((("lb", j), ("lk", j), ("lbra", j), ("lb", j + 1)))
+
+        for r in rows:
+            ket = peps.grid[r][j]
+            bra = backend.conj(peps.grid[r][j])
+            ket_up = ("uk", j) if r == r0 else ("vk", r, j)
+            ket_down = ("lk", j) if r == r1 else ("vk", r + 1, j)
+            bra_up = ("ubra", j) if r == r0 else ("vb", r, j)
+            bra_down = ("lbra", j) if r == r1 else ("vb", r + 1, j)
+
+            has_op = (r, j) in piece_map
+            ket_phys = ("kp", r, j)
+            bra_phys = ("bp", r, j) if has_op else ket_phys
+
+            operands.append(ket)
+            inputs.append((ket_phys, ket_up, ("hk", r, j), ket_down, ("hk", r, j + 1)))
+            operands.append(bra)
+            inputs.append((bra_phys, bra_up, ("hb", r, j), bra_down, ("hb", r, j + 1)))
+
+            if has_op:
+                for piece, kap_in, kap_out in piece_map[(r, j)]:
+                    operands.append(backend.astensor(piece))
+                    inputs.append((kap_in, bra_phys, ket_phys, kap_out))
+
+        # Operator bonds whose two endpoints straddle this column boundary must
+        # be carried in the environment until the second endpoint is reached.
+        pending = pending_kappas(piece_map, j)
+
+        if env is not None:
+            operands.append(env)
+            inputs.append(env_labels)
+
+        out_labels = [("ub", j + 1)]
+        for r in rows:
+            out_labels.append(("hk", r, j + 1))
+            out_labels.append(("hb", r, j + 1))
+        out_labels.append(("lb", j + 1))
+        out_labels.extend(pending)
+
+        env = contract_network(operands, inputs, tuple(out_labels), backend=backend)
+        env_labels = tuple(out_labels)
+
+    return backend.item(env)
+
+
+def pending_kappas(piece_map, col: int) -> List:
+    """Operator-bond labels shared between a column <= col and a column > col."""
+    ends: Dict = {}
+    for (r, c), plist in piece_map.items():
+        for piece, kap_in, kap_out in plist:
+            for label in (kap_in, kap_out):
+                ends.setdefault(label, []).append(c)
+    pending = []
+    for label, cols in ends.items():
+        if len(cols) == 2 and min(cols) <= col < max(cols):
+            pending.append(label)
+    return pending

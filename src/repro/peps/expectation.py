@@ -1,25 +1,25 @@
-"""Expectation values of local observables on PEPS, with intermediate caching.
+"""Expectation values of local observables on PEPS (compatibility shim).
 
-For an operator ``H = sum_i H_i`` made of one- and two-site terms, the
-expectation value is evaluated term by term (Eq. 5 of the paper).  Every term
-requires contracting the two-layer ``<psi| H_i |psi>`` network; the terms
-share most of that network, so the caching strategy of Section IV-B computes
-the boundary environments of the plain ``<psi|psi>`` sandwich *once* — one
-sweep from the top and one from the bottom — and then evaluates every term
-with a short strip contraction (upper environment, the rows the term touches,
-lower environment), cf. Figure 6.
+The caching strategy of Section IV-B now lives in the pluggable environment
+subsystem (:mod:`repro.peps.envs`): boundary environments of the
+``<psi|psi>`` sandwich are computed once — one sweep from the top and one
+from the bottom — and every local term is evaluated with a short strip
+contraction, with incremental dirty-row invalidation on top.  This module
+keeps the historical entry points:
 
-Without caching, each term pays for a full two-layer contraction, which is
-the baseline the Fig. 9 benchmark compares against.
+* :func:`expectation_value` — term-by-term evaluation with (``use_cache=True``)
+  or without (``use_cache=False``) shared boundary environments,
+* :class:`EnvironmentCache` — the seed's eager cache API, now a thin wrapper
+  over :class:`~repro.peps.envs.boundary.BoundaryEnvironment`,
+* :func:`expectation_via_evolution` — the Trotter/Taylor alternative (Eq. 6).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.backends.interface import Backend
 from repro.operators.hamiltonians import Hamiltonian
 from repro.operators.observable import Observable
 from repro.peps.contraction.options import BMPS, ContractOption, Exact, TwoLayerBMPS
@@ -28,20 +28,18 @@ from repro.peps.contraction.two_layer import (
     close_boundaries,
     trivial_boundary,
 )
+from repro.peps.envs.base import local_terms as _local_terms
+from repro.peps.envs.boundary import BoundaryEnvironment
+from repro.peps.envs.boundary_mps import make_environment
+from repro.peps.envs.strip import (
+    operator_pieces as _operator_pieces,
+    pending_kappas as _pending_kappas,
+    strip_value,
+)
 from repro.tensornetwork.einsumsvd import EinsumSVDOption
-from repro.tensornetwork.network import contract_network
 
 #: Site tensor index order.
 PHYS, UP, LEFT, DOWN, RIGHT = 0, 1, 2, 3, 4
-
-
-def _local_terms(observable: Union[Observable, Hamiltonian]):
-    """Local terms as ``(sites, matrix)`` pairs for both supported types."""
-    if isinstance(observable, Observable):
-        return observable.local_terms()
-    if isinstance(observable, Hamiltonian):
-        return [(term.sites, term.matrix) for term in observable.terms]
-    raise TypeError(f"unsupported observable type {type(observable)!r}")
 
 
 def _resolve_option(contract_option: Optional[ContractOption]) -> Tuple[Optional[EinsumSVDOption], Optional[int]]:
@@ -57,12 +55,13 @@ def _resolve_option(contract_option: Optional[ContractOption]) -> Tuple[Optional
 
 
 class EnvironmentCache:
-    """Cached upper/lower boundary environments of the ``<psi|psi>`` sandwich.
+    """Eagerly built upper/lower boundary environments (seed-compatible API).
 
     ``upper[i]`` is the boundary MPS obtained by absorbing rows ``0..i-1``
     from the top; ``lower[i]`` absorbs rows ``nrow-1..i+1`` from the bottom.
-    Both are lists of ``(left, ket phys, bra phys, right)`` tensors whose
-    physical legs face row ``i``.
+    New code should use :meth:`~repro.peps.peps.PEPS.attach_environment` /
+    :mod:`repro.peps.envs` directly, which adds incremental invalidation and
+    batched measurement on top of the same caches.
     """
 
     def __init__(
@@ -72,40 +71,12 @@ class EnvironmentCache:
         max_bond: Optional[int],
     ) -> None:
         self.peps = peps
-        backend = peps.backend
-        nrow, ncol = peps.nrow, peps.ncol
-
-        self.upper: List[List] = [trivial_boundary(backend, ncol)]
-        for i in range(nrow):
-            self.upper.append(
-                absorb_sandwich_row(
-                    self.upper[-1],
-                    peps.grid[i],
-                    peps.grid[i],
-                    option=svd_option,
-                    max_bond=max_bond,
-                    backend=backend,
-                )
-            )
-
-        lower_rev: List[List] = [trivial_boundary(backend, ncol)]
-        for i in range(nrow - 1, -1, -1):
-            lower_rev.append(
-                absorb_sandwich_row(
-                    lower_rev[-1],
-                    peps.grid[i],
-                    peps.grid[i],
-                    option=svd_option,
-                    max_bond=max_bond,
-                    backend=backend,
-                    from_below=True,
-                )
-            )
-        # lower_rev[k] has absorbed rows nrow-1 .. nrow-k; lower[i] must have
-        # absorbed rows nrow-1 .. i+1, i.e. k = nrow-1-i.
-        self.lower: List[List] = [lower_rev[nrow - 1 - i] for i in range(nrow)]
-
-        self.norm_sq = close_boundaries(backend, self.upper[nrow], trivial_boundary(backend, ncol))
+        self.env = BoundaryEnvironment(peps, svd_option=svd_option, max_bond=max_bond)
+        self.env.build()
+        nrow = peps.nrow
+        self.upper: List[List] = [self.env._upper[i] for i in range(nrow + 1)]
+        self.lower: List[List] = [self.env._lower[i] for i in range(nrow)]
+        self.norm_sq = self.env.norm_sq()
 
 
 def expectation_value(
@@ -116,21 +87,19 @@ def expectation_value(
     normalized: bool = True,
 ) -> float:
     """``<psi|O|psi>`` (optionally divided by ``<psi|psi>``) for a local observable."""
-    backend = peps.backend
-    svd_option, max_bond = _resolve_option(contract_option)
     terms = _local_terms(observable)
 
     if use_cache:
-        cache = EnvironmentCache(peps, svd_option, max_bond)
-        norm_sq = cache.norm_sq
-    else:
-        cache = None
-        norm_sq = close_boundaries(
-            backend,
-            _fresh_upper(peps, peps.nrow, svd_option, max_bond),
-            trivial_boundary(backend, peps.ncol),
-        )
+        env = make_environment(peps, contract_option)
+        return env.expectation(terms, normalized=normalized)
 
+    backend = peps.backend
+    svd_option, max_bond = _resolve_option(contract_option)
+    norm_sq = close_boundaries(
+        backend,
+        _fresh_upper(peps, peps.nrow, svd_option, max_bond),
+        trivial_boundary(backend, peps.ncol),
+    )
     total = 0.0 + 0.0j
     for sites, matrix in terms:
         if len(sites) == 0:
@@ -143,13 +112,9 @@ def expectation_value(
                 f"term on sites {sites} spans rows {r0}..{r1}; only terms within "
                 f"two adjacent rows are supported"
             )
-        if cache is not None:
-            upper = cache.upper[r0]
-            lower = cache.lower[r1]
-        else:
-            upper = _fresh_upper(peps, r0, svd_option, max_bond)
-            lower = _fresh_lower(peps, r1, svd_option, max_bond)
-        total += _strip_value(peps, upper, lower, r0, r1, sites, matrix)
+        upper = _fresh_upper(peps, r0, svd_option, max_bond)
+        lower = _fresh_lower(peps, r1, svd_option, max_bond)
+        total += strip_value(peps, upper, lower, r0, r1, sites, matrix)
 
     value = total / norm_sq if normalized else total
     return float(np.real(value))
@@ -195,7 +160,6 @@ def expectation_via_evolution(
     normalized:
         Divide by ``<psi|psi>``.
     """
-    from repro.peps.contraction.options import TwoLayerBMPS
     from repro.peps.update import QRUpdate
 
     if tau <= 0:
@@ -256,141 +220,5 @@ def _fresh_lower(peps, stop_row: int, svd_option, max_bond) -> List:
     return boundary
 
 
-def _operator_pieces(
-    sites: Sequence[int],
-    matrix: np.ndarray,
-    positions: Sequence[Tuple[int, int]],
-) -> Dict[Tuple[int, int], List[Tuple[np.ndarray, object, object]]]:
-    """Split a term operator into per-site pieces with a shared internal bond.
-
-    Every piece is a 4-mode array ``(kappa_in, out, in, kappa_out)``; for a
-    single-site term the kappa legs have dimension 1, for a two-site term the
-    operator Schmidt decomposition links the two pieces through a bond of
-    dimension at most ``d^2``.
-
-    Returns a mapping ``(row, col) -> list of (piece, kappa_in_label, kappa_out_label)``.
-    """
-    matrix = np.asarray(matrix, dtype=np.complex128)
-    pieces: Dict[Tuple[int, int], List[Tuple[np.ndarray, object, object]]] = {}
-    if len(sites) == 1:
-        d = matrix.shape[0]
-        piece = matrix.reshape(1, d, d, 1)
-        pieces.setdefault(positions[0], []).append((piece, ("kap", id(matrix), 0), ("kap", id(matrix), 1)))
-        return pieces
-    if len(sites) == 2:
-        d = int(np.sqrt(matrix.shape[0]))
-        # G[i1 i2, j1 j2] -> G[i1, j1, i2, j2] -> matrix ((i1 j1), (i2 j2))
-        tensor = matrix.reshape(d, d, d, d).transpose(0, 2, 1, 3)
-        mat = tensor.reshape(d * d, d * d)
-        u, s, vh = np.linalg.svd(mat, full_matrices=False)
-        keep = int(np.count_nonzero(s > s[0] * 1e-14)) if s[0] > 0 else 1
-        keep = max(keep, 1)
-        root = np.sqrt(s[:keep])
-        a = (u[:, :keep] * root).reshape(d, d, keep)          # (i1, j1, kappa)
-        bpart = (root[:, None] * vh[:keep, :]).reshape(keep, d, d)  # (kappa, i2, j2)
-        kap = ("kap", id(matrix), "bond")
-        dangle_a = ("kap", id(matrix), "a")
-        dangle_b = ("kap", id(matrix), "b")
-        piece_a = a.reshape(d, d, keep)[np.newaxis, ...]       # (1, i1, j1, kappa)
-        piece_b = bpart.reshape(keep, d, d)[..., np.newaxis]   # (kappa, i2, j2, 1)
-        pieces.setdefault(positions[0], []).append((piece_a, dangle_a, kap))
-        pieces.setdefault(positions[1], []).append((piece_b, kap, dangle_b))
-        return pieces
-    raise ValueError(f"terms on {len(sites)} sites are not supported")
-
-
-def _strip_value(
-    peps,
-    upper: Sequence,
-    lower: Sequence,
-    r0: int,
-    r1: int,
-    sites: Sequence[int],
-    matrix: np.ndarray,
-) -> complex:
-    """Contract (upper env) x (rows r0..r1 with the term inserted) x (lower env).
-
-    The strip is contracted column by column; the per-column contraction runs
-    through :func:`contract_network`, so intermediate sizes stay bounded by
-    ``(boundary bond)^2 x (PEPS bond)^(2*height)`` times small factors.
-    """
-    backend = peps.backend
-    ncol = peps.ncol
-    rows = list(range(r0, r1 + 1))
-    positions = [peps.site_position(s) for s in sites]
-    for (r, _c) in positions:
-        if not (r0 <= r <= r1):
-            raise ValueError("term site outside the strip rows")
-    piece_map = _operator_pieces(sites, matrix, positions)
-
-    env = None
-    env_labels: Tuple = ()
-    pending: List = []  # kappa labels crossing column boundaries
-
-    for j in range(ncol):
-        operands = []
-        inputs = []
-
-        # Upper boundary tensor.
-        operands.append(upper[j])
-        inputs.append((("ub", j), ("uk", j), ("ubra", j), ("ub", j + 1)))
-
-        # Lower boundary tensor.
-        operands.append(lower[j])
-        inputs.append((("lb", j), ("lk", j), ("lbra", j), ("lb", j + 1)))
-
-        for r in rows:
-            ket = peps.grid[r][j]
-            bra = backend.conj(peps.grid[r][j])
-            ket_up = ("uk", j) if r == r0 else ("vk", r, j)
-            ket_down = ("lk", j) if r == r1 else ("vk", r + 1, j)
-            bra_up = ("ubra", j) if r == r0 else ("vb", r, j)
-            bra_down = ("lbra", j) if r == r1 else ("vb", r + 1, j)
-
-            has_op = (r, j) in piece_map
-            ket_phys = ("kp", r, j)
-            bra_phys = ("bp", r, j) if has_op else ket_phys
-
-            operands.append(ket)
-            inputs.append((ket_phys, ket_up, ("hk", r, j), ket_down, ("hk", r, j + 1)))
-            operands.append(bra)
-            inputs.append((bra_phys, bra_up, ("hb", r, j), bra_down, ("hb", r, j + 1)))
-
-            if has_op:
-                for piece, kap_in, kap_out in piece_map[(r, j)]:
-                    operands.append(backend.astensor(piece))
-                    inputs.append((kap_in, bra_phys, ket_phys, kap_out))
-
-        # Operator bonds whose two endpoints straddle this column boundary must
-        # be carried in the environment until the second endpoint is reached.
-        pending = _pending_kappas(piece_map, j)
-
-        if env is not None:
-            operands.append(env)
-            inputs.append(env_labels)
-
-        out_labels = [("ub", j + 1)]
-        for r in rows:
-            out_labels.append(("hk", r, j + 1))
-            out_labels.append(("hb", r, j + 1))
-        out_labels.append(("lb", j + 1))
-        out_labels.extend(pending)
-
-        env = contract_network(operands, inputs, tuple(out_labels), backend=backend)
-        env_labels = tuple(out_labels)
-
-    return backend.item(env)
-
-
-def _pending_kappas(piece_map, col: int) -> List:
-    """Operator-bond labels shared between a column <= col and a column > col."""
-    ends: Dict = {}
-    for (r, c), plist in piece_map.items():
-        for piece, kap_in, kap_out in plist:
-            for label in (kap_in, kap_out):
-                ends.setdefault(label, []).append(c)
-    pending = []
-    for label, cols in ends.items():
-        if len(cols) == 2 and min(cols) <= col < max(cols):
-            pending.append(label)
-    return pending
+# Backwards-compatible private aliases (the strip machinery moved to envs).
+_strip_value = strip_value

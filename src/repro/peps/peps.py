@@ -65,6 +65,7 @@ class PEPS:
                 raise ValueError(
                     f"row {i} has {len(row)} columns, expected {self.ncol}"
                 )
+        self._env = None
         self._validate()
 
     # ------------------------------------------------------------------ #
@@ -129,6 +130,43 @@ class PEPS:
     def __setitem__(self, position: Tuple[int, int], tensor) -> None:
         row, col = position
         self.grid[row][col] = tensor
+        self._notify_env([row])
+
+    # ------------------------------------------------------------------ #
+    # Environments
+    # ------------------------------------------------------------------ #
+    def attach_environment(self, contract_option=None, env=None):
+        """Attach a cached contraction environment and return it.
+
+        The environment serves ``norm``/``expectation`` queries from cached
+        boundary sweeps and is invalidated incrementally (only the touched
+        rows) by the operator-application paths.  Either pass a
+        ``contract_option`` (``None``/``Exact`` for an exact environment, a
+        ``BMPS`` option for a truncated boundary MPS) or a prebuilt
+        :class:`~repro.peps.envs.base.Environment` for this state.
+        """
+        from repro.peps.envs import make_environment
+
+        if env is None:
+            env = make_environment(self, contract_option)
+        elif env.peps is not self:
+            raise ValueError("the environment belongs to a different PEPS")
+        self._env = env
+        return env
+
+    def detach_environment(self):
+        """Detach and return the attached environment (or ``None``)."""
+        env, self._env = self._env, None
+        return env
+
+    @property
+    def environment(self):
+        """The attached environment, or ``None``."""
+        return self._env
+
+    def _notify_env(self, rows: Sequence[int]) -> None:
+        if self._env is not None:
+            self._env.invalidate(rows)
 
     def physical_dimensions(self) -> List[List[int]]:
         return [[self.backend.shape(t)[PHYS] for t in row] for row in self.grid]
@@ -182,6 +220,7 @@ class PEPS:
             self.grid[row][col] = apply_single_site_operator(
                 self.backend, self.grid[row][col], operator
             )
+            self._notify_env([row])
             return self
         if len(sites) == 2:
             return self._apply_two_site(operator, sites[0], sites[1], update_option)
@@ -278,6 +317,7 @@ class PEPS:
         )
         self.grid[first[0]][first[1]] = new_a
         self.grid[second[0]][second[1]] = new_b
+        self._notify_env({first[0], second[0]})
 
     # ------------------------------------------------------------------ #
     # Contractions
@@ -320,16 +360,30 @@ class PEPS:
         other: "PEPS",
         contract_option: Optional[ContractOption] = None,
     ) -> complex:
-        """The inner product ``<self|other>`` (two-layer contraction)."""
+        """The inner product ``<self|other>`` (two-layer contraction).
+
+        ``<self|self>`` with no explicit option is served from the attached
+        environment's cached boundaries; an explicit ``contract_option``
+        always selects the corresponding direct contraction algorithm.
+        """
         if other.shape != self.shape:
             raise ValueError(f"shape mismatch: {self.shape} vs {other.shape}")
+        if other is self and self._env is not None and contract_option is None:
+            return self._env.norm_sq()
         option = contract_option if contract_option is not None else TwoLayerBMPS()
         if isinstance(option, TwoLayerBMPS):
             return contract_inner_two_layer(self.grid, other.grid, option, self.backend)
         return contract_inner_fused(self.grid, other.grid, option, self.backend)
 
     def norm(self, contract_option: Optional[ContractOption] = None) -> float:
-        """``sqrt(<psi|psi>)``."""
+        """``sqrt(<psi|psi>)``.
+
+        With no explicit option and an attached environment, the norm comes
+        from the environment's incrementally maintained boundaries; an
+        explicit ``contract_option`` always runs that direct contraction.
+        """
+        if self._env is not None and contract_option is None:
+            return self._env.norm()
         value = self.inner(self, contract_option)
         return float(np.sqrt(max(float(np.real(value)), 0.0)))
 
@@ -345,6 +399,24 @@ class PEPS:
                 out.grid[i][j] = out.grid[i][j] * factor
         return out
 
+    def normalize_(self, contract_option: Optional[ContractOption] = None) -> "PEPS":
+        """Normalize in place, keeping any attached environment's caches warm.
+
+        The uniform per-site scale factor rescales the cached boundary
+        environments analytically instead of invalidating them, so a hot-loop
+        ``normalize_(); expectation(...)`` pair shares one boundary build.
+        """
+        nrm = self.norm(contract_option)
+        if nrm <= 0:
+            raise ValueError("cannot normalize a state with zero norm")
+        factor = nrm ** (-1.0 / self.n_sites)
+        for i in range(self.nrow):
+            for j in range(self.ncol):
+                self.grid[i][j] = self.grid[i][j] * factor
+        if self._env is not None:
+            self._env.rescale_cached(factor)
+        return self
+
     def expectation(
         self,
         observable: Union[Observable, Hamiltonian],
@@ -356,10 +428,15 @@ class PEPS:
 
         ``use_cache=True`` enables the intermediate caching strategy of
         Section IV-B: boundary environments of the ``<psi|psi>`` sandwich are
-        computed once and shared across all local terms.
+        computed once and shared across all local terms.  When an environment
+        is attached (:meth:`attach_environment`) and compatible with
+        ``contract_option``, its incrementally maintained boundaries are
+        reused instead of rebuilding from scratch.
         """
         from repro.peps.expectation import expectation_value
 
+        if use_cache and self._env is not None and self._env.accepts(contract_option):
+            return self._env.expectation(observable, normalized=normalized)
         return expectation_value(
             self,
             observable,
@@ -367,6 +444,48 @@ class PEPS:
             contract_option=contract_option,
             normalized=normalized,
         )
+
+    def measure_1site(
+        self,
+        operator,
+        sites: Optional[Sequence[int]] = None,
+        contract_option: Optional[ContractOption] = None,
+        normalized: bool = True,
+    ):
+        """Batched single-site expectation values (see ``Environment.measure_1site``)."""
+        return self._environment_for(contract_option).measure_1site(
+            operator, sites=sites, normalized=normalized
+        )
+
+    def measure_2site(
+        self,
+        operator_a,
+        operator_b=None,
+        pairs: Optional[Sequence[Tuple[int, int]]] = None,
+        contract_option: Optional[ContractOption] = None,
+        normalized: bool = True,
+    ):
+        """Batched two-site expectation values (see ``Environment.measure_2site``)."""
+        return self._environment_for(contract_option).measure_2site(
+            operator_a, operator_b, pairs=pairs, normalized=normalized
+        )
+
+    def sample(
+        self,
+        rng: SeedLike = None,
+        nshots: int = 1,
+        contract_option: Optional[ContractOption] = None,
+    ) -> np.ndarray:
+        """Computational-basis samples ``~ |<b|psi>|^2`` (see ``Environment.sample``)."""
+        return self._environment_for(contract_option).sample(rng=rng, nshots=nshots)
+
+    def _environment_for(self, contract_option: Optional[ContractOption]):
+        """The attached environment if compatible, else an ephemeral one."""
+        from repro.peps.envs import make_environment
+
+        if self._env is not None and self._env.accepts(contract_option):
+            return self._env
+        return make_environment(self, contract_option)
 
     def to_statevector(self) -> np.ndarray:
         """Exact dense state (flat row-major qubit ordering; small lattices only)."""
