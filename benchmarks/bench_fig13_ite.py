@@ -17,11 +17,9 @@ The scaled-down default uses a 3x3 lattice, r in {1, 2}, and fewer steps; set
 import numpy as np
 import pytest
 
-from repro.algorithms.ite import ImaginaryTimeEvolution
 from repro.operators.hamiltonians import heisenberg_j1j2
-from repro.peps import BMPS, QRUpdate
+from repro.sim import RunSpec, Simulation
 from repro.statevector import StateVector
-from repro.tensornetwork import ImplicitRandomizedSVD
 
 from benchmarks.conftest import scaled
 
@@ -31,6 +29,9 @@ TAU = 0.05
 RANKS = scaled([1, 2], [1, 2, 3, 4])
 SV_STEPS = scaled(200, 1000)
 
+MODEL = {"kind": "heisenberg_j1j2", "j1": [1.0, 1.0, 1.0],
+         "j2": [0.5, 0.5, 0.5], "field": [0.2, 0.2, 0.2]}
+
 
 def _statevector_reference(ham, n_steps):
     n = ham.n_sites
@@ -39,15 +40,20 @@ def _statevector_reference(ham, n_steps):
     return energies
 
 
-def _run_peps_ite(ham, r, m, n_steps):
-    ite = ImaginaryTimeEvolution(
-        ham,
-        tau=TAU,
-        update_option=QRUpdate(rank=r),
-        contract_option=BMPS(ImplicitRandomizedSVD(rank=m, niter=1, seed=0)),
-    )
-    result = ite.run(n_steps, measure_every=max(1, n_steps // 5))
-    return result
+def _run_peps_ite(nrow, ncol, r, m, n_steps):
+    """One Fig. 13 ITE trace via the declarative simulation runner."""
+    spec = RunSpec.from_dict({
+        "name": f"fig13-r{r}-m{m}",
+        "workload": "ite",
+        "lattice": [nrow, ncol],
+        "n_steps": n_steps,
+        "model": MODEL,
+        "algorithm": {"tau": TAU},
+        "update": {"kind": "qr", "rank": r},
+        "contraction": {"kind": "ibmps", "bond": m, "niter": 1, "seed": 0},
+        "measure_every": max(1, n_steps // 5),
+    })
+    return Simulation(spec).run()
 
 
 def test_fig13a_energy_per_step(benchmark, record_rows):
@@ -60,7 +66,7 @@ def test_fig13a_energy_per_step(benchmark, record_rows):
         traces = {}
         for r in RANKS:
             for m_label, m in (("m=r", r), ("m=r^2", max(r * r, 2))):
-                result = _run_peps_ite(ham, r, m, N_STEPS)
+                result = _run_peps_ite(nrow, ncol, r, m, N_STEPS)
                 traces[(r, m_label)] = (result.measured_steps, result.energies)
         return traces
 
@@ -92,8 +98,8 @@ def test_fig13b_energy_vs_bond_dimension(benchmark, record_rows):
     def sweep():
         rows = []
         for r in RANKS:
-            final_r = _run_peps_ite(ham, r, r, N_STEPS).final_energy
-            final_r2 = _run_peps_ite(ham, r, max(r * r, 2), N_STEPS).final_energy
+            final_r = _run_peps_ite(nrow, ncol, r, r, N_STEPS).final_energy
+            final_r2 = _run_peps_ite(nrow, ncol, r, max(r * r, 2), N_STEPS).final_energy
             rows.append((r, final_r, final_r2, sv_energy))
         return rows
 

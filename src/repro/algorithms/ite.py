@@ -115,6 +115,24 @@ class ImaginaryTimeEvolution:
             state.apply_operator(matrix, list(sites), self.update_option)
         return state
 
+    def advance(self, state: PEPS, step_index: int) -> PEPS:
+        """One full driver step: Trotter step plus the scheduled renormalization.
+
+        This is the unit of progress shared by :meth:`run` and the simulation
+        runner (:mod:`repro.sim`): checkpointing between ``advance`` calls and
+        replaying the remaining calls reproduces an uninterrupted run
+        float-for-float.  ``step_index`` is 1-based.
+        """
+        state = self.step(state)
+        if step_index % self.normalize_every == 0:
+            if self.reuse_environment and state.environment is not None:
+                # No explicit option: the attached environment (built from
+                # self.contract_option) serves the norm from its caches.
+                state.normalize_()
+            else:
+                state = state.normalize(self.contract_option)
+        return state
+
     def energy(self, state: PEPS, use_cache: bool = True) -> float:
         """Energy per site of ``state`` (normalized expectation value)."""
         value = state.expectation(
@@ -147,14 +165,7 @@ class ImaginaryTimeEvolution:
         energies: List[float] = []
         measured: List[int] = []
         for step_index in range(1, n_steps + 1):
-            state = self.step(state)
-            if step_index % self.normalize_every == 0:
-                if self.reuse_environment:
-                    # No explicit option: the attached environment (built from
-                    # self.contract_option) serves the norm from its caches.
-                    state.normalize_()
-                else:
-                    state = state.normalize(self.contract_option)
+            state = self.advance(state, step_index)
             if step_index % measure_every == 0 or step_index == n_steps:
                 e = self.energy(state)
                 energies.append(e)

@@ -184,6 +184,31 @@ class VQE:
     def energy_per_site(self, parameters: Sequence[float]) -> float:
         return self.energy(parameters) / self.hamiltonian.n_sites
 
+    def optimize_segment(
+        self, parameters: Sequence[float], maxiter: int = 1
+    ) -> "scipy.optimize.OptimizeResult":
+        """Run a bounded SLSQP segment from ``parameters`` and return the result.
+
+        This is the resumable unit of VQE progress used by the simulation
+        runner (:mod:`repro.sim`): each segment is a fresh, deterministic
+        SLSQP call seeded only by the incoming parameter vector, so a run
+        checkpointed between segments and resumed replays identically.
+        (Restarting the optimizer does reset its internal quadratic model, so
+        many 1-iteration segments converge more slowly than one long
+        ``run()`` — choose ``maxiter`` per segment accordingly.)
+        """
+        x0 = np.asarray(parameters, dtype=float)
+        if x0.size != self.n_parameters:
+            raise ValueError(
+                f"expected {self.n_parameters} parameters, got {x0.size}"
+            )
+        return scipy.optimize.minimize(
+            lambda x: float(self.energy(x)),
+            x0,
+            method="SLSQP",
+            options={"maxiter": int(maxiter), "ftol": 1e-10},
+        )
+
     def run(
         self,
         initial_parameters: Optional[Sequence[float]] = None,

@@ -178,7 +178,20 @@ class MPS:
         return [self.backend.shape(t)[1] for t in self.tensors]
 
     def copy(self) -> "MPS":
+        """An independent deep copy: every site tensor is duplicated.
+
+        In-place edits of ``self.tensors`` entries (e.g. the norm rescale in
+        :meth:`random`) never leak into copies; checkpoint serialization and
+        boundary caching rely on this.
+        """
         return MPS([self.backend.copy(t) for t in self.tensors], self.backend)
+
+    def __copy__(self) -> "MPS":
+        # Shallow copies sharing the tensor list would alias mutable state.
+        return self.copy()
+
+    def __deepcopy__(self, memo) -> "MPS":
+        return self.copy()
 
     def conj(self) -> "MPS":
         return MPS([self.backend.conj(t) for t in self.tensors], self.backend)

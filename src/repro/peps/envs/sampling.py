@@ -28,16 +28,22 @@ from repro.peps.envs.strip import (
     transfer_left_projected,
     transfer_right,
 )
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import SeedLike, ensure_rng
 
 
-def sample_bitstrings(env, rng=None, nshots: int = 1) -> np.ndarray:
+def sample_bitstrings(env, rng: "SeedLike" = None, nshots: int = 1) -> np.ndarray:
     """Draw ``nshots`` basis-state samples from ``env.peps``.
 
     Returns an integer array of shape ``(nshots, n_sites)`` in row-major site
     order.  ``env`` is a :class:`~repro.peps.envs.boundary.BoundaryEnvironment`
     (or compatible): its cached lower boundaries and truncation options are
     reused.
+
+    Every draw of every shot consumes the *single* generator resolved from
+    ``rng`` (an existing generator is used in place, advancing the caller's
+    stream), so seeded callers get deterministic shot sequences — the
+    simulation runner threads ``derive_rng(spec.seed, "sample", step)`` here
+    to make whole runs reproducible from one RunSpec seed.
     """
     nshots = int(nshots)
     if nshots < 1:

@@ -16,6 +16,7 @@ keeps the historical entry points:
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Optional, Tuple, Union
 
 import numpy as np
@@ -70,6 +71,14 @@ class EnvironmentCache:
         svd_option: Optional[EinsumSVDOption],
         max_bond: Optional[int],
     ) -> None:
+        warnings.warn(
+            "EnvironmentCache is deprecated; attach an environment instead "
+            "(peps.attach_environment(...) / repro.peps.envs.make_environment), "
+            "which adds incremental invalidation and batched measurements on "
+            "top of the same boundary caches",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.peps = peps
         self.env = BoundaryEnvironment(peps, svd_option=svd_option, max_bond=max_bond)
         self.env.build()
@@ -86,7 +95,37 @@ def expectation_value(
     contract_option: Optional[ContractOption] = None,
     normalized: bool = True,
 ) -> float:
-    """``<psi|O|psi>`` (optionally divided by ``<psi|psi>``) for a local observable."""
+    """``<psi|O|psi>`` (optionally divided by ``<psi|psi>``) for a local observable.
+
+    .. deprecated::
+        Call :meth:`repro.peps.peps.PEPS.expectation` (or attach an
+        environment via :meth:`~repro.peps.peps.PEPS.attach_environment` and
+        use the :mod:`repro.peps.envs` API) instead; this shim survives for
+        the seed's callers only.
+    """
+    warnings.warn(
+        "repro.peps.expectation.expectation_value is deprecated; use "
+        "PEPS.expectation(...) or the repro.peps.envs environment API",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _expectation_value_impl(
+        peps,
+        observable,
+        use_cache=use_cache,
+        contract_option=contract_option,
+        normalized=normalized,
+    )
+
+
+def _expectation_value_impl(
+    peps,
+    observable: Union[Observable, Hamiltonian],
+    use_cache: bool = True,
+    contract_option: Optional[ContractOption] = None,
+    normalized: bool = True,
+) -> float:
+    """Implementation behind :func:`expectation_value` and ``PEPS.expectation``."""
     terms = _local_terms(observable)
 
     if use_cache:

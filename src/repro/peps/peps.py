@@ -189,8 +189,24 @@ class PEPS:
         return max(bonds) if bonds else 1
 
     def copy(self) -> "PEPS":
+        """An independent deep copy: every site tensor is duplicated.
+
+        Mutating the copy (operator application, in-place normalization)
+        never touches the original's tensors — checkpointing and the
+        algorithm drivers rely on this.  Any attached environment is *not*
+        carried over (it caches contractions of the original's tensors);
+        re-attach one on the copy if needed.
+        """
         b = self.backend
         return PEPS([[b.copy(t) for t in row] for row in self.grid], b)
+
+    def __copy__(self) -> "PEPS":
+        # A shallow copy sharing the grid lists would let in-place updates on
+        # one state corrupt the other; always deep-copy the tensors.
+        return self.copy()
+
+    def __deepcopy__(self, memo) -> "PEPS":
+        return self.copy()
 
     def scale(self, factor: complex) -> "PEPS":
         """Multiply the state by a scalar (applied to a single site tensor)."""
@@ -433,11 +449,11 @@ class PEPS:
         ``contract_option``, its incrementally maintained boundaries are
         reused instead of rebuilding from scratch.
         """
-        from repro.peps.expectation import expectation_value
+        from repro.peps.expectation import _expectation_value_impl
 
         if use_cache and self._env is not None and self._env.accepts(contract_option):
             return self._env.expectation(observable, normalized=normalized)
-        return expectation_value(
+        return _expectation_value_impl(
             self,
             observable,
             use_cache=use_cache,

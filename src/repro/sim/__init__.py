@@ -1,0 +1,102 @@
+"""Config-driven simulation runner with checkpoint/resume serialization.
+
+This subsystem turns the library's driver algorithms into declarative,
+resumable *runs*:
+
+* :class:`~repro.sim.spec.RunSpec` — a plain-data run description (model,
+  lattice, workload, backend, contraction/update options, measurement
+  schedule, checkpoint policy, seed) parseable from dicts/JSON,
+* :class:`~repro.sim.runner.Simulation` — the driver that owns the step
+  loop, fires measurement hooks on schedule, streams records to a
+  JSONL/JSON sink, and writes atomic checkpoints,
+* :mod:`~repro.sim.workloads` — pluggable workload adapters for imaginary
+  time evolution, VQE and random-circuit amplitudes,
+* :mod:`~repro.sim.io` — versioned ``to_dict``/``from_dict`` serialization
+  for MPS, PEPS (with attached environments) and option objects; tensor
+  payloads round-trip bitwise so resumed runs replay uninterrupted ones
+  float-for-float.
+
+Quick start::
+
+    from repro.sim import RunSpec, Simulation
+
+    spec = RunSpec.from_dict({
+        "name": "ite-demo", "workload": "ite", "lattice": [3, 3],
+        "n_steps": 20, "seed": 7,
+        "model": {"kind": "heisenberg_j1j2"},
+        "update": {"kind": "qr", "rank": 2},
+        "contraction": {"kind": "ibmps", "bond": 4, "seed": 0},
+        "checkpoint_every": 5, "checkpoint_dir": "ckpt",
+        "results": "ite-demo.jsonl",
+    })
+    result = Simulation(spec).run()
+    # ... crash or ctrl-C, then later:
+    result = Simulation(spec).run(resume=True)
+
+or from the command line::
+
+    python -m repro.sim spec.json
+    python -m repro.sim spec.json --resume
+"""
+
+from repro.sim.io import (
+    FORMAT_VERSION,
+    SerializationError,
+    atomic_write_json,
+    contract_option_from_dict,
+    contract_option_to_dict,
+    latest_checkpoint,
+    load_checkpoint,
+    mps_from_dict,
+    mps_to_dict,
+    peps_from_dict,
+    peps_to_dict,
+    update_option_from_dict,
+    update_option_to_dict,
+    write_checkpoint,
+)
+from repro.sim.runner import Simulation, SimulationResult, run_spec
+from repro.sim.sinks import JSONLSink, JSONSink, MemorySink, ResultSink, make_sink
+from repro.sim.spec import SPEC_VERSION, RunSpec, register_model
+from repro.sim.workloads import (
+    ITEWorkload,
+    RQCAmplitudeWorkload,
+    VQEWorkload,
+    Workload,
+    build_workload,
+    register_workload,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "SPEC_VERSION",
+    "SerializationError",
+    "RunSpec",
+    "Simulation",
+    "SimulationResult",
+    "run_spec",
+    "Workload",
+    "ITEWorkload",
+    "VQEWorkload",
+    "RQCAmplitudeWorkload",
+    "build_workload",
+    "register_workload",
+    "register_model",
+    "ResultSink",
+    "MemorySink",
+    "JSONLSink",
+    "JSONSink",
+    "make_sink",
+    "mps_to_dict",
+    "mps_from_dict",
+    "peps_to_dict",
+    "peps_from_dict",
+    "contract_option_to_dict",
+    "contract_option_from_dict",
+    "update_option_to_dict",
+    "update_option_from_dict",
+    "write_checkpoint",
+    "load_checkpoint",
+    "latest_checkpoint",
+    "atomic_write_json",
+]

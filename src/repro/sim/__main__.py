@@ -1,0 +1,100 @@
+"""Command-line entry point: ``python -m repro.sim SPEC.json [options]``.
+
+Runs the simulation a JSON :class:`~repro.sim.spec.RunSpec` describes,
+printing one line per step record.  ``--resume`` continues from the newest
+checkpoint; ``--stop-after N`` interrupts after N steps of this session
+(exit code 3), which lets CI exercise the crash/resume path deterministically:
+
+.. code-block:: shell
+
+    python -m repro.sim spec.json --results ref.jsonl
+    python -m repro.sim spec.json --results out.jsonl --stop-after 2   # "crash"
+    python -m repro.sim spec.json --results out.jsonl --resume
+    cmp ref.jsonl out.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.sim.runner import Simulation
+from repro.sim.spec import RunSpec
+
+#: Exit code reported when ``--stop-after`` interrupted the run.
+EXIT_INTERRUPTED = 3
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sim",
+        description="Run a simulation described by a JSON RunSpec.",
+    )
+    parser.add_argument("spec", help="path to the RunSpec JSON file")
+    parser.add_argument(
+        "--resume",
+        nargs="?",
+        const=True,
+        default=False,
+        metavar="CHECKPOINT",
+        help="resume from the newest checkpoint (or an explicit checkpoint file)",
+    )
+    parser.add_argument(
+        "--stop-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="interrupt after N steps of this session (exit code 3); "
+        "used to test checkpoint/resume",
+    )
+    parser.add_argument("--results", default=None, metavar="PATH",
+                        help="override the spec's results path")
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="override the spec's checkpoint directory")
+    parser.add_argument("--checkpoint-every", type=int, default=None, metavar="N",
+                        help="override the spec's checkpoint interval")
+    parser.add_argument("--name", default=None, help="override the spec's run name")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-step record output")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    spec = RunSpec.from_file(args.spec)
+    if args.results is not None:
+        spec.results = args.results
+    if args.checkpoint_dir is not None:
+        spec.checkpoint_dir = args.checkpoint_dir
+    if args.checkpoint_every is not None:
+        spec.checkpoint_every = max(0, args.checkpoint_every)
+    if args.name is not None:
+        spec.name = args.name
+
+    def progress(record):
+        if not args.quiet:
+            fields = " ".join(
+                f"{k}={v:+.10g}" if isinstance(v, float) else f"{k}={v}"
+                for k, v in record.items()
+            )
+            print(fields, flush=True)
+
+    simulation = Simulation(spec)
+    if not args.quiet:
+        mode = "resuming" if args.resume else "starting"
+        print(f"{mode} run {spec.name!r}: workload={spec.workload} "
+              f"lattice={spec.nrow}x{spec.ncol} seed={spec.seed}", flush=True)
+    result = simulation.run(
+        resume=args.resume, stop_after=args.stop_after, progress=progress
+    )
+    if not args.quiet:
+        status = "interrupted" if result.interrupted else "completed"
+        print(f"run {spec.name!r} {status} at step {result.final_step}"
+              + (f" (checkpoint: {result.checkpoint_path})"
+                 if result.checkpoint_path else ""), flush=True)
+    return EXIT_INTERRUPTED if result.interrupted else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,469 @@
+"""Versioned serialization for simulation state (checkpoint/resume).
+
+Every persistent artifact of the simulation runner — checkpoints, result
+documents, run specs — is plain JSON.  Tensor data is encoded losslessly
+(raw little-endian bytes, base64) so that a state restored from a checkpoint
+is *bitwise identical* to the one that was saved; combined with the library's
+per-call seeding of randomized algorithms this makes a resumed run reproduce
+an uninterrupted one float-for-float.
+
+The module provides ``to_dict``/``from_dict`` pairs for
+
+* :class:`~repro.mps.mps.MPS` — ``mps_to_dict`` / ``mps_from_dict``,
+* :class:`~repro.peps.peps.PEPS` (with its attached environment) —
+  ``peps_to_dict`` / ``peps_from_dict``,
+* contraction/update option objects — ``contract_option_to_dict`` etc.,
+* whole checkpoint payloads — ``write_checkpoint`` (atomic: write to a
+  temporary file, fsync, ``os.replace``) / ``load_checkpoint`` /
+  ``latest_checkpoint``.
+
+Every dict carries a ``format_version`` so later formats can migrate old
+checkpoints instead of silently misreading them.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import tempfile
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.backends import get_backend
+from repro.backends.interface import Backend
+
+#: Version of the on-disk checkpoint / state-dict format.
+FORMAT_VERSION = 1
+
+
+class SerializationError(ValueError):
+    """Raised when a state dict cannot be serialized or restored."""
+
+
+# --------------------------------------------------------------------- #
+# Tensors
+# --------------------------------------------------------------------- #
+def encode_tensor(backend: Backend, tensor) -> Dict[str, Any]:
+    """Lossless JSON encoding of one backend tensor (base64 of raw bytes)."""
+    array = np.ascontiguousarray(np.asarray(backend.asarray(tensor)))
+    return {
+        "dtype": array.dtype.str,
+        "shape": list(array.shape),
+        "data": base64.b64encode(array.tobytes()).decode("ascii"),
+    }
+
+
+def decode_tensor(backend: Backend, payload: Dict[str, Any]):
+    """Rebuild a backend tensor from :func:`encode_tensor` output."""
+    raw = base64.b64decode(payload["data"])
+    array = np.frombuffer(raw, dtype=np.dtype(payload["dtype"]))
+    array = array.reshape([int(d) for d in payload["shape"]]).copy()
+    return backend.astensor(array)
+
+
+# --------------------------------------------------------------------- #
+# Option objects
+# --------------------------------------------------------------------- #
+def svd_option_to_dict(option) -> Optional[Dict[str, Any]]:
+    """Serialize an ``einsumsvd`` option (``ExplicitSVD``/``ImplicitRandomizedSVD``)."""
+    from repro.tensornetwork.einsumsvd import ExplicitSVD, ImplicitRandomizedSVD
+
+    if option is None:
+        return None
+    out: Dict[str, Any] = {
+        "rank": option.rank,
+        "cutoff": option.cutoff,
+        "absorb": option.absorb,
+    }
+    if isinstance(option, ImplicitRandomizedSVD):
+        seed = option.seed
+        if seed is not None and not isinstance(seed, (int, np.integer)):
+            raise SerializationError(
+                "only integer (or None) seeds are serializable; pass an int seed "
+                "to ImplicitRandomizedSVD for checkpointable runs"
+            )
+        out.update(
+            kind="implicit",
+            niter=option.niter,
+            oversample=option.oversample,
+            orth_method=option.orth_method,
+            seed=None if seed is None else int(seed),
+        )
+    elif isinstance(option, ExplicitSVD):
+        out["kind"] = "explicit"
+    else:
+        raise SerializationError(f"unsupported einsumsvd option {type(option).__name__}")
+    return out
+
+
+def svd_option_from_dict(payload: Optional[Dict[str, Any]]):
+    from repro.tensornetwork.einsumsvd import ExplicitSVD, ImplicitRandomizedSVD
+
+    if payload is None:
+        return None
+    kind = payload.get("kind", "explicit")
+    common = dict(
+        rank=payload.get("rank"),
+        cutoff=payload.get("cutoff"),
+        absorb=payload.get("absorb", "even"),
+    )
+    if kind == "explicit":
+        return ExplicitSVD(**common)
+    if kind == "implicit":
+        return ImplicitRandomizedSVD(
+            niter=payload.get("niter", 1),
+            oversample=payload.get("oversample", 2),
+            orth_method=payload.get("orth_method", "auto"),
+            seed=payload.get("seed"),
+            **common,
+        )
+    raise SerializationError(f"unknown einsumsvd option kind {kind!r}")
+
+
+def contract_option_to_dict(option) -> Optional[Dict[str, Any]]:
+    """Serialize a contraction option (``Exact``/``BMPS``/``TwoLayerBMPS``)."""
+    from repro.peps.contraction.options import BMPS, Exact, TwoLayerBMPS
+
+    if option is None:
+        return None
+    if isinstance(option, Exact):
+        return {"kind": "exact"}
+    if isinstance(option, TwoLayerBMPS):
+        kind = "two_layer_bmps"
+    elif isinstance(option, BMPS):
+        kind = "bmps"
+    else:
+        raise SerializationError(f"unsupported contraction option {type(option).__name__}")
+    return {
+        "kind": kind,
+        "svd": svd_option_to_dict(option.svd_option),
+        "truncate_bond": option.truncate_bond,
+    }
+
+
+def contract_option_from_dict(payload: Optional[Dict[str, Any]]):
+    from repro.peps.contraction.options import BMPS, Exact, TwoLayerBMPS
+
+    if payload is None:
+        return None
+    kind = payload["kind"]
+    if kind == "exact":
+        return Exact()
+    if kind in ("bmps", "two_layer_bmps"):
+        cls = TwoLayerBMPS if kind == "two_layer_bmps" else BMPS
+        return cls(
+            svd_option=svd_option_from_dict(payload.get("svd")),
+            truncate_bond=payload.get("truncate_bond"),
+        )
+    raise SerializationError(f"unknown contraction option kind {kind!r}")
+
+
+def update_option_to_dict(option) -> Optional[Dict[str, Any]]:
+    """Serialize a two-site update option (``QRUpdate`` family)."""
+    from repro.peps.update import (
+        DirectUpdate,
+        LocalGramQRSVDUpdate,
+        LocalGramQRUpdate,
+        QRUpdate,
+    )
+
+    if option is None:
+        return None
+    # Subclasses first: LocalGram* extend QRUpdate.
+    if isinstance(option, LocalGramQRSVDUpdate):
+        kind = "local_gram_qr_svd"
+    elif isinstance(option, LocalGramQRUpdate):
+        kind = "local_gram_qr"
+    elif isinstance(option, QRUpdate):
+        kind = "qr"
+    elif isinstance(option, DirectUpdate):
+        kind = "direct"
+    else:
+        raise SerializationError(f"unsupported update option {type(option).__name__}")
+    return {
+        "kind": kind,
+        "rank": option.rank,
+        "cutoff": option.cutoff,
+        "svd": svd_option_to_dict(option.svd_option),
+    }
+
+
+def update_option_from_dict(payload: Optional[Dict[str, Any]]):
+    from repro.peps.update import (
+        DirectUpdate,
+        LocalGramQRSVDUpdate,
+        LocalGramQRUpdate,
+        QRUpdate,
+    )
+
+    if payload is None:
+        return None
+    classes = {
+        "qr": QRUpdate,
+        "direct": DirectUpdate,
+        "local_gram_qr": LocalGramQRUpdate,
+        "local_gram_qr_svd": LocalGramQRSVDUpdate,
+    }
+    kind = payload["kind"]
+    if kind not in classes:
+        raise SerializationError(f"unknown update option kind {kind!r}")
+    return classes[kind](
+        rank=payload.get("rank"),
+        cutoff=payload.get("cutoff"),
+        svd_option=svd_option_from_dict(payload.get("svd")),
+    )
+
+
+# --------------------------------------------------------------------- #
+# MPS
+# --------------------------------------------------------------------- #
+def mps_to_dict(mps) -> Dict[str, Any]:
+    """Versioned state dict of an :class:`~repro.mps.mps.MPS`."""
+    backend = mps.backend
+    return {
+        "format_version": FORMAT_VERSION,
+        "type": "MPS",
+        "backend": backend.name,
+        "tensors": [encode_tensor(backend, t) for t in mps.tensors],
+    }
+
+
+def mps_from_dict(payload: Dict[str, Any], backend: Union[str, Backend, None] = None):
+    """Rebuild an MPS from :func:`mps_to_dict` output (bitwise exact)."""
+    from repro.mps.mps import MPS
+
+    _check_payload(payload, "MPS")
+    backend = get_backend(backend if backend is not None else payload["backend"])
+    tensors = [decode_tensor(backend, t) for t in payload["tensors"]]
+    return MPS(tensors, backend)
+
+
+# --------------------------------------------------------------------- #
+# PEPS and attached environments
+# --------------------------------------------------------------------- #
+def environment_to_dict(env) -> Dict[str, Any]:
+    """Serialize a boundary environment: its defining option plus warm caches.
+
+    The cached upper/lower boundaries are stored so that a restored
+    environment resumes with the same warm state (no recontraction on the
+    first query); the validity counters make partially built caches
+    round-trip too.
+    """
+    from repro.peps.envs.boundary import BoundaryEnvironment
+    from repro.peps.envs.boundary_mps import EnvBoundaryMPS
+    from repro.peps.envs.exact import EnvExact
+
+    if not isinstance(env, BoundaryEnvironment):
+        raise SerializationError(f"unsupported environment type {type(env).__name__}")
+    backend = env.backend
+    if isinstance(env, EnvExact):
+        option_payload: Dict[str, Any] = {"kind": "exact"}
+    elif isinstance(env, EnvBoundaryMPS):
+        option_payload = contract_option_to_dict(env.contract_option)
+    else:
+        option_payload = {
+            "kind": "bmps",
+            "svd": svd_option_to_dict(env.svd_option),
+            "truncate_bond": env.max_bond,
+        }
+    return {
+        "format_version": FORMAT_VERSION,
+        "type": "Environment",
+        "contract_option": option_payload,
+        "upper_valid": env._upper_valid,
+        "lower_valid": env._lower_valid,
+        "upper": [
+            [encode_tensor(backend, t) for t in env._upper[i]]
+            for i in range(1, env._upper_valid + 1)
+        ],
+        "lower": [
+            [encode_tensor(backend, t) for t in env._lower[i]]
+            for i in range(env._lower_valid, env.nrow - 1)
+        ],
+    }
+
+
+def attach_environment_from_dict(peps, payload: Dict[str, Any]):
+    """Attach the serialized environment to ``peps`` and restore its caches."""
+    _check_payload(payload, "Environment")
+    option = contract_option_from_dict(payload["contract_option"])
+    env = peps.attach_environment(option)
+    backend = peps.backend
+    upper_valid = int(payload.get("upper_valid", 0))
+    lower_valid = int(payload.get("lower_valid", peps.nrow - 1))
+    for offset, boundary in enumerate(payload.get("upper", ())):
+        env._upper[offset + 1] = [decode_tensor(backend, t) for t in boundary]
+    for offset, boundary in enumerate(payload.get("lower", ())):
+        env._lower[lower_valid + offset] = [decode_tensor(backend, t) for t in boundary]
+    env._upper_valid = upper_valid
+    env._lower_valid = lower_valid
+    return env
+
+
+def peps_to_dict(peps, include_environment: bool = True) -> Dict[str, Any]:
+    """Versioned state dict of a :class:`~repro.peps.peps.PEPS`.
+
+    ``include_environment=True`` also serializes an attached environment
+    (its contraction option and warm boundary caches).
+    """
+    backend = peps.backend
+    payload: Dict[str, Any] = {
+        "format_version": FORMAT_VERSION,
+        "type": "PEPS",
+        "backend": backend.name,
+        "nrow": peps.nrow,
+        "ncol": peps.ncol,
+        "tensors": [
+            [encode_tensor(backend, peps.grid[i][j]) for j in range(peps.ncol)]
+            for i in range(peps.nrow)
+        ],
+        "environment": None,
+    }
+    if include_environment and peps.environment is not None:
+        payload["environment"] = environment_to_dict(peps.environment)
+    return payload
+
+
+def peps_from_dict(payload: Dict[str, Any], backend: Union[str, Backend, None] = None):
+    """Rebuild a PEPS (and its attached environment) bitwise-exactly."""
+    from repro.peps.peps import PEPS
+
+    _check_payload(payload, "PEPS")
+    backend = get_backend(backend if backend is not None else payload["backend"])
+    grid = [[decode_tensor(backend, t) for t in row] for row in payload["tensors"]]
+    peps = PEPS(grid, backend)
+    if payload.get("environment") is not None:
+        attach_environment_from_dict(peps, payload["environment"])
+    return peps
+
+
+# --------------------------------------------------------------------- #
+# Checkpoint files
+# --------------------------------------------------------------------- #
+def atomic_write_json(path: Union[str, os.PathLike], payload: Dict[str, Any]) -> str:
+    """Write JSON atomically: temp file in the same directory, fsync, replace.
+
+    A crash mid-write leaves the previous checkpoint intact; readers never
+    observe a torn file.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".tmp-", suffix=".json")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+    return path
+
+
+def checkpoint_filename(name: str, step: int) -> str:
+    return f"{name}-step{int(step):06d}.ckpt.json"
+
+
+def write_checkpoint(
+    directory: Union[str, os.PathLike],
+    name: str,
+    step: int,
+    spec_dict: Dict[str, Any],
+    workload_state: Dict[str, Any],
+    records: List[Dict[str, Any]],
+    keep: int = 3,
+) -> str:
+    """Atomically persist one checkpoint and prune old ones (keep the newest ``keep``)."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "type": "Checkpoint",
+        "name": name,
+        "step": int(step),
+        "spec": spec_dict,
+        "workload_state": workload_state,
+        "records": records,
+    }
+    path = os.path.join(os.fspath(directory), checkpoint_filename(name, step))
+    atomic_write_json(path, payload)
+    if keep and keep > 0:
+        existing = sorted(_list_checkpoints(directory, name))
+        for _, stale in existing[:-keep]:
+            try:
+                os.unlink(stale)
+            except OSError:
+                pass
+    return path
+
+
+def clear_checkpoints(directory: Union[str, os.PathLike], name: str) -> int:
+    """Delete every checkpoint of the named run; returns how many were removed.
+
+    A fresh (non-resume) run calls this before its first checkpoint so stale
+    files from a superseded session can neither shadow the new run's
+    checkpoints in the step-sorted pruning nor be picked up by a later
+    ``--resume``.
+    """
+    removed = 0
+    for _, path in _list_checkpoints(directory, name):
+        try:
+            os.unlink(path)
+            removed += 1
+        except OSError:
+            pass
+    return removed
+
+
+def load_checkpoint(path: Union[str, os.PathLike]) -> Dict[str, Any]:
+    with open(os.fspath(path)) as handle:
+        payload = json.load(handle)
+    _check_payload(payload, "Checkpoint")
+    return payload
+
+
+def latest_checkpoint(
+    directory: Union[str, os.PathLike], name: Optional[str] = None
+) -> Optional[str]:
+    """Path of the highest-step checkpoint in ``directory`` (``None`` if empty)."""
+    found = _list_checkpoints(directory, name)
+    if not found:
+        return None
+    return max(found)[1]
+
+
+def _list_checkpoints(
+    directory: Union[str, os.PathLike], name: Optional[str]
+) -> List[Tuple[int, str]]:
+    directory = os.fspath(directory)
+    if not os.path.isdir(directory):
+        return []
+    out: List[Tuple[int, str]] = []
+    for entry in os.listdir(directory):
+        if not entry.endswith(".ckpt.json"):
+            continue
+        stem = entry[: -len(".ckpt.json")]
+        base, sep, step_part = stem.rpartition("-step")
+        if not sep or not step_part.isdigit():
+            continue
+        if name is not None and base != name:
+            continue
+        out.append((int(step_part), os.path.join(directory, entry)))
+    return out
+
+
+def _check_payload(payload: Dict[str, Any], expected_type: str) -> None:
+    if not isinstance(payload, dict) or payload.get("type") != expected_type:
+        raise SerializationError(
+            f"expected a serialized {expected_type}, got "
+            f"{payload.get('type') if isinstance(payload, dict) else type(payload).__name__!r}"
+        )
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported {expected_type} format version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )

@@ -1,0 +1,249 @@
+"""The simulation driver: owns the step loop, measurements and checkpoints.
+
+:class:`Simulation` turns a :class:`~repro.sim.spec.RunSpec` into a running
+study: it builds the workload, fires registered measurement hooks on the
+spec's schedule, streams step records to a result sink, persists atomic
+checkpoints every ``checkpoint_every`` steps, and resumes from the latest
+checkpoint on request::
+
+    spec = RunSpec.from_file("fig13.json")
+    result = Simulation(spec).run()                # fresh run
+    result = Simulation(spec).run(resume=True)     # continue after a crash
+
+Because workload state round-trips bitwise (see :mod:`repro.sim.io`) and the
+library's randomized algorithms are seeded per call, a resumed run reproduces
+the uninterrupted run's records float-for-float.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.sim import io as sim_io
+from repro.sim.sinks import ResultSink, make_sink
+from repro.sim.spec import RunSpec
+from repro.sim.workloads import Workload, build_workload
+
+#: A measurement hook: ``hook(simulation, step_index) -> dict`` merged into
+#: the step record (return ``None`` for nothing).
+MeasurementHook = Callable[["Simulation", int], Optional[Dict[str, Any]]]
+
+
+def _canonical(value) -> str:
+    """JSON-normalized form for spec comparisons.
+
+    An in-memory spec may hold tuples (or numpy scalars) where the
+    checkpointed spec went through ``json.dump`` and holds lists/floats;
+    comparing the serialized forms avoids spurious mismatches.
+    """
+    return json.dumps(value, sort_keys=True, default=str)
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a (possibly interrupted) simulation run."""
+
+    spec: RunSpec
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    final_step: int = 0
+    interrupted: bool = False
+    checkpoint_path: Optional[str] = None
+    summary: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def energies(self) -> List[float]:
+        """Convenience series: the ``energy`` field of every record carrying one."""
+        return [r["energy"] for r in self.records if "energy" in r]
+
+    @property
+    def measured_steps(self) -> List[int]:
+        return [r["step"] for r in self.records]
+
+    @property
+    def final_energy(self) -> float:
+        energies = self.energies
+        if not energies:
+            raise ValueError("no energies were recorded during the run")
+        return energies[-1]
+
+
+class Simulation:
+    """Config-driven driver for one workload run.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`RunSpec` (or a plain dict parsed with
+        :meth:`RunSpec.from_dict`).
+    sink:
+        Result sink override; defaults to whatever ``spec.results`` implies
+        (JSONL/JSON file, or in-memory).
+    """
+
+    def __init__(
+        self,
+        spec: Union[RunSpec, Dict[str, Any]],
+        sink: Optional[ResultSink] = None,
+    ) -> None:
+        self.spec = spec if isinstance(spec, RunSpec) else RunSpec.from_dict(spec)
+        self.workload: Workload = build_workload(self.spec)
+        self.sink = sink if sink is not None else make_sink(self.spec.results)
+        self._hooks: Dict[str, MeasurementHook] = {}
+
+    # ------------------------------------------------------------------ #
+    # Measurement hooks
+    # ------------------------------------------------------------------ #
+    def add_measurement_hook(self, name: str, hook: MeasurementHook) -> None:
+        """Register an extra measurement fired on the spec's schedule.
+
+        The hook runs after the workload's own ``measure`` and its dict is
+        merged into the step record under no namespace — pick distinct keys.
+        """
+        self._hooks[name] = hook
+
+    def remove_measurement_hook(self, name: str) -> None:
+        self._hooks.pop(name, None)
+
+    # ------------------------------------------------------------------ #
+    # Checkpoints
+    # ------------------------------------------------------------------ #
+    def latest_checkpoint(self) -> Optional[str]:
+        """Path of this run's newest checkpoint (``None`` if there is none)."""
+        return sim_io.latest_checkpoint(self.spec.checkpoint_dir, self.spec.name)
+
+    def _write_checkpoint(self, step: int, records: List[Dict[str, Any]]) -> str:
+        return sim_io.write_checkpoint(
+            self.spec.checkpoint_dir,
+            self.spec.name,
+            step,
+            self.spec.to_dict(),
+            self.workload.state_to_dict(),
+            records,
+            keep=self.spec.keep_checkpoints,
+        )
+
+    def _load_checkpoint(self, resume: Union[bool, str, os.PathLike]):
+        """Load the checkpoint ``resume`` names; returns ``(payload, path)``."""
+        path = resume if not isinstance(resume, bool) else self.latest_checkpoint()
+        if path is None:
+            raise FileNotFoundError(
+                f"no checkpoint for run {self.spec.name!r} in "
+                f"{self.spec.checkpoint_dir!r}"
+            )
+        payload = sim_io.load_checkpoint(path)
+        saved_spec = RunSpec.from_dict(payload["spec"])
+        # Everything that defines the physics/trajectory must match; schedule
+        # and output knobs (n_steps, measure_every, results, checkpointing)
+        # may legitimately change between sessions (e.g. extending a run).
+        physics_fields = (
+            "workload", "lattice", "seed", "backend",
+            "model", "algorithm", "update", "contraction",
+        )
+        mismatched = [
+            name for name in physics_fields
+            if _canonical(getattr(saved_spec, name)) != _canonical(getattr(self.spec, name))
+        ]
+        if mismatched:
+            raise ValueError(
+                f"checkpoint {os.fspath(path)!r} was written by an incompatible spec "
+                f"({', '.join(mismatched)} differ); refusing to resume"
+            )
+        return payload, os.fspath(path)
+
+    # ------------------------------------------------------------------ #
+    # The loop
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        resume: Union[bool, str, os.PathLike] = False,
+        stop_after: Optional[int] = None,
+        progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> SimulationResult:
+        """Execute (or continue) the run.
+
+        Parameters
+        ----------
+        resume:
+            ``False`` starts fresh; ``True`` resumes from the newest
+            checkpoint in ``spec.checkpoint_dir``; a path resumes from that
+            checkpoint file.
+        stop_after:
+            Stop (reporting ``interrupted=True``) after this many steps *of
+            this session* — used to exercise interrupt/resume in tests and CI.
+        progress:
+            Called with every step record as it is produced.
+        """
+        spec = self.spec
+        self.workload.setup()
+        start_step = 0
+        prior_records: List[Dict[str, Any]] = []
+        resumed_from: Optional[str] = None
+        if resume:
+            payload, resumed_from = self._load_checkpoint(resume)
+            self.workload.restore_state(payload["workload_state"])
+            start_step = int(payload["step"])
+            prior_records = list(payload["records"])
+        elif spec.checkpoint_every:
+            # A fresh run supersedes any previous session's checkpoints:
+            # left in place they would shadow the new ones in step-sorted
+            # pruning and could be resumed by mistake.
+            sim_io.clear_checkpoints(spec.checkpoint_dir, spec.name)
+
+        self.sink.open(prior_records)
+        records = self.sink.records
+        n_steps = self.workload.total_steps()
+        checkpoint_path: Optional[str] = resumed_from
+        interrupted = False
+        steps_this_session = 0
+        step = start_step
+
+        try:
+            for step in range(start_step + 1, n_steps + 1):
+                self.workload.step(step)
+                if step % spec.measure_every == 0 or step == n_steps:
+                    record: Dict[str, Any] = {"step": step}
+                    record.update(self.workload.measure(step))
+                    for hook in self._hooks.values():
+                        extra = hook(self, step)
+                        if extra:
+                            record.update(extra)
+                    self.sink.write(record)
+                    if progress is not None:
+                        progress(record)
+                if spec.checkpoint_every and (
+                    step % spec.checkpoint_every == 0 or step == n_steps
+                ):
+                    checkpoint_path = self._write_checkpoint(step, records)
+                steps_this_session += 1
+                if (
+                    stop_after is not None
+                    and steps_this_session >= stop_after
+                    and step < n_steps
+                ):
+                    interrupted = True
+                    break
+        finally:
+            self.sink.close()
+
+        summary = {} if interrupted else self.workload.summary()
+        return SimulationResult(
+            spec=spec,
+            records=list(records),
+            final_step=step,
+            interrupted=interrupted,
+            checkpoint_path=checkpoint_path,
+            summary=summary,
+        )
+
+
+def run_spec(
+    spec: Union[RunSpec, Dict[str, Any]],
+    resume: Union[bool, str] = False,
+    stop_after: Optional[int] = None,
+    progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> SimulationResult:
+    """One-call convenience: build a :class:`Simulation` and run it."""
+    return Simulation(spec).run(resume=resume, stop_after=stop_after, progress=progress)

@@ -1,0 +1,291 @@
+"""Declarative run specifications for the simulation runner.
+
+A :class:`RunSpec` captures everything that defines a simulation — model,
+lattice, workload (algorithm), backend, update/contraction options,
+measurement schedule, checkpoint policy and the RNG seed — as a plain
+dataclass parseable from dicts or JSON files::
+
+    spec = RunSpec.from_dict({
+        "name": "fig13-ite",
+        "workload": "ite",
+        "lattice": [4, 4],
+        "n_steps": 150,
+        "seed": 7,
+        "model": {"kind": "heisenberg_j1j2", "j1": [1, 1, 1],
+                  "j2": [0.5, 0.5, 0.5], "field": [0.2, 0.2, 0.2]},
+        "algorithm": {"tau": 0.05},
+        "update": {"kind": "qr", "rank": 2},
+        "contraction": {"kind": "ibmps", "bond": 4, "seed": 0},
+        "measure_every": 1,
+        "checkpoint_every": 25,
+        "checkpoint_dir": "checkpoints",
+        "results": "fig13-ite.jsonl",
+    })
+
+The spec is pure data: ``to_dict`` round-trips losslessly, and the builder
+methods (:meth:`RunSpec.build_model`, :meth:`RunSpec.build_update_option`,
+:meth:`RunSpec.build_contract_option`) construct the corresponding library
+objects on demand.  All stochastic components of a run derive named
+substreams from the single ``seed`` (see :func:`repro.utils.rng.derive_rng`),
+so one integer pins the whole run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.sim.io import (
+    SerializationError,
+    contract_option_from_dict,
+    update_option_from_dict,
+)
+
+#: Version of the spec schema (bumped on incompatible field changes).
+SPEC_VERSION = 1
+
+#: Recognized model kinds and their Hamiltonian builders (name -> callable).
+MODEL_BUILDERS: Dict[str, Any] = {}
+
+
+def register_model(kind: str):
+    """Register a model builder ``f(nrow, ncol, **params) -> Hamiltonian``."""
+
+    def _register(builder):
+        MODEL_BUILDERS[kind] = builder
+        return builder
+
+    return _register
+
+
+def _builtin_models() -> None:
+    from repro.operators.hamiltonians import heisenberg_j1j2, transverse_field_ising
+
+    MODEL_BUILDERS.setdefault("heisenberg_j1j2", heisenberg_j1j2)
+    MODEL_BUILDERS.setdefault("transverse_field_ising", transverse_field_ising)
+
+
+@dataclass
+class RunSpec:
+    """Declarative description of one simulation run.
+
+    Attributes
+    ----------
+    name:
+        Run identifier; prefixes checkpoint filenames.
+    workload:
+        Registered workload kind: ``"ite"``, ``"vqe"`` or ``"rqc_amplitude"``.
+    lattice:
+        ``(nrow, ncol)`` lattice dimensions.
+    n_steps:
+        Number of driver steps; ``None`` lets the workload decide (e.g. the
+        RQC workload runs one step per circuit gate).
+    seed:
+        Root seed; every stochastic component derives a named substream.
+    backend:
+        Tensor backend name (``"numpy"`` or ``"distributed"``).
+    model:
+        Model config: ``{"kind": <registered model>, **params}``.
+    algorithm:
+        Workload-specific parameters (``tau``, ``n_layers``, ``bits``, ...).
+    update:
+        Two-site update option config (``{"kind": "qr", "rank": r, ...}``)
+        or ``None`` for the workload default.
+    contraction:
+        Contraction option config (``{"kind": "ibmps", "bond": m, ...}``)
+        or ``None`` for the workload default.
+    measure_every:
+        Fire the measurement hooks every this many steps (the final step is
+        always measured).
+    observables:
+        Names of extra observables recorded at each measurement (workload
+        dependent; ``"energy"`` is always recorded by energy workloads).
+    checkpoint_every:
+        Persist an atomic checkpoint every this many steps (0 disables).
+    checkpoint_dir:
+        Directory for checkpoint files.
+    keep_checkpoints:
+        Retain only this many most-recent checkpoints.
+    results:
+        Stream step records to this path (``.jsonl`` appends one JSON object
+        per record, anything else gets one JSON document); ``None`` keeps
+        records in memory only.
+    """
+
+    name: str = "run"
+    workload: str = "ite"
+    lattice: Tuple[int, int] = (2, 2)
+    n_steps: Optional[int] = None
+    seed: int = 0
+    backend: str = "numpy"
+    model: Dict[str, Any] = field(default_factory=dict)
+    algorithm: Dict[str, Any] = field(default_factory=dict)
+    update: Optional[Dict[str, Any]] = None
+    contraction: Optional[Dict[str, Any]] = None
+    measure_every: int = 1
+    observables: Tuple[str, ...] = ()
+    checkpoint_every: int = 0
+    checkpoint_dir: str = "checkpoints"
+    keep_checkpoints: int = 3
+    results: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        self.lattice = (int(self.lattice[0]), int(self.lattice[1]))
+        if self.lattice[0] < 1 or self.lattice[1] < 1:
+            raise ValueError(f"lattice dimensions must be positive, got {self.lattice}")
+        if self.n_steps is not None:
+            self.n_steps = int(self.n_steps)
+            if self.n_steps < 1:
+                raise ValueError(f"n_steps must be positive, got {self.n_steps}")
+        self.measure_every = max(1, int(self.measure_every))
+        self.checkpoint_every = max(0, int(self.checkpoint_every))
+        if isinstance(self.observables, str):
+            # tuple("sample") would silently become six one-letter names.
+            self.observables = (self.observables,)
+        self.observables = tuple(self.observables)
+        if self.seed is not None:
+            self.seed = int(self.seed)
+
+    # ------------------------------------------------------------------ #
+    # Dict / JSON round trip
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunSpec":
+        """Parse a plain dict (e.g. loaded from JSON); unknown keys are errors."""
+        payload = dict(payload)
+        version = payload.pop("spec_version", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise SerializationError(
+                f"unsupported spec_version {version!r} (this build reads {SPEC_VERSION})"
+            )
+        known = set(cls.__dataclass_fields__)
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown RunSpec fields {sorted(unknown)}; known fields: {sorted(known)}"
+            )
+        return cls(**payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path: Union[str, os.PathLike]) -> "RunSpec":
+        with open(os.fspath(path)) as handle:
+            return cls.from_dict(json.load(handle))
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = asdict(self)
+        payload["lattice"] = list(self.lattice)
+        payload["observables"] = list(self.observables)
+        payload["spec_version"] = SPEC_VERSION
+        return payload
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    # ------------------------------------------------------------------ #
+    # Derived properties and builders
+    # ------------------------------------------------------------------ #
+    @property
+    def nrow(self) -> int:
+        return self.lattice[0]
+
+    @property
+    def ncol(self) -> int:
+        return self.lattice[1]
+
+    @property
+    def n_sites(self) -> int:
+        return self.nrow * self.ncol
+
+    def build_model(self):
+        """Construct the lattice Hamiltonian named by ``model["kind"]``."""
+        _builtin_models()
+        params = dict(self.model)
+        kind = params.pop("kind", None)
+        if kind is None:
+            raise ValueError('model config needs a "kind" entry')
+        builder = MODEL_BUILDERS.get(kind)
+        if builder is None:
+            raise ValueError(
+                f"unknown model kind {kind!r}; registered: {sorted(MODEL_BUILDERS)}"
+            )
+        return builder(self.nrow, self.ncol, **params)
+
+    def build_update_option(self):
+        """Two-site update option from the ``update`` config (``None`` = default)."""
+        return update_option_from_dict(_normalize_update(self.update))
+
+    def build_contract_option(self):
+        """Contraction option from the ``contraction`` config (``None`` = default)."""
+        return contract_option_from_dict(_normalize_contraction(self.contraction))
+
+
+def _normalize_update(config: Optional[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+    """Accept the compact spec form of an update config.
+
+    ``{"kind": "qr", "rank": 2}`` is the canonical io-layer form already;
+    this hook exists so spec files stay stable if the io format evolves.
+    """
+    if config is None:
+        return None
+    config = dict(config)
+    config.setdefault("kind", "qr")
+    return config
+
+
+def _normalize_contraction(config: Optional[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+    """Expand the compact contraction shorthand into the io-layer form.
+
+    Spec files write ``{"kind": "ibmps", "bond": 4, "niter": 1, "seed": 0}``;
+    the io layer stores an explicit nested ``svd`` dict.  ``"bmps"`` selects
+    the explicit-SVD flavour, ``"ibmps"`` the implicit randomized SVD.
+    """
+    if config is None:
+        return None
+    config = dict(config)
+    kind = config.pop("kind", "ibmps")
+    if kind == "exact":
+        if config:
+            raise ValueError(f"unknown contraction config keys {sorted(config)}")
+        return {"kind": "exact"}
+    io_kinds = {"ibmps": "bmps", "bmps": "bmps",
+                "two_layer_ibmps": "two_layer_bmps", "two_layer_bmps": "two_layer_bmps"}
+    if kind not in io_kinds:
+        raise ValueError(f"unknown contraction kind {kind!r}")
+    if "svd" in config:  # already in io-layer form
+        svd = config.pop("svd")
+        truncate_bond = config.pop("truncate_bond", None)
+        if config:
+            raise ValueError(f"unknown contraction config keys {sorted(config)}")
+        return {"kind": io_kinds[kind], "svd": svd, "truncate_bond": truncate_bond}
+    bond = config.pop("bond", None)
+    rank = config.pop("rank", None)
+    if bond is not None and rank is not None:
+        raise ValueError('give either "bond" or "rank" in a contraction config, not both')
+    bond = bond if bond is not None else rank
+    if kind in ("ibmps", "two_layer_ibmps"):
+        svd = {
+            "kind": "implicit",
+            "rank": bond,
+            "cutoff": config.pop("cutoff", None),
+            "absorb": config.pop("absorb", "even"),
+            "niter": config.pop("niter", 1),
+            "oversample": config.pop("oversample", 2),
+            "orth_method": config.pop("orth_method", "auto"),
+            "seed": config.pop("seed", 0),
+        }
+    else:
+        svd = {
+            "kind": "explicit",
+            "rank": bond,
+            "cutoff": config.pop("cutoff", None),
+            "absorb": config.pop("absorb", "even"),
+        }
+    if config:
+        raise ValueError(f"unknown contraction config keys {sorted(config)}")
+    return {"kind": io_kinds[kind], "svd": svd, "truncate_bond": None}

@@ -9,7 +9,8 @@ only ever deals with `Generator` objects.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+import zlib
+from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -41,3 +42,88 @@ def spawn_rng(rng: np.random.Generator, n: int) -> list:
         raise ValueError(f"cannot spawn a negative number of generators: {n}")
     seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
     return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def derive_rng(root_seed: Union[int, None], *key) -> np.random.Generator:
+    """A named, statistically independent substream of a single root seed.
+
+    The simulation runner (:mod:`repro.sim`) threads one ``RunSpec`` seed
+    through every stochastic component of a run — circuit generation,
+    parameter initialization, basis-state sampling — by deriving a dedicated
+    generator per purpose::
+
+        circuit_rng = derive_rng(spec.seed, "circuit")
+        sample_rng = derive_rng(spec.seed, "sample", step_index)
+
+    The same ``(root_seed, *key)`` always produces the same stream, and
+    distinct keys produce independent streams, so whole runs are reproducible
+    from one integer while components never share (and therefore never
+    perturb) each other's stream positions.
+
+    ``key`` elements may be strings or integers; ``root_seed=None`` draws a
+    fresh entropy-based stream (non-reproducible, mirroring ``ensure_rng``).
+    """
+    if root_seed is None:
+        return np.random.default_rng()
+    words: List[int] = [_entropy_word(root_seed)]
+    for part in key:
+        if isinstance(part, (int, np.integer)):
+            words.append(_entropy_word(part))
+        else:
+            words.append(zlib.crc32(str(part).encode("utf-8")) & 0xFFFFFFFF)
+    return np.random.default_rng(np.random.SeedSequence(words))
+
+
+def _entropy_word(value) -> int:
+    """An integer as SeedSequence entropy, full width preserved.
+
+    SeedSequence only takes non-negative integers; negative values map via
+    64-bit two's complement.  No truncation of non-negative values, so
+    distinct seeds always derive distinct streams.
+    """
+    value = int(value)
+    if value < 0:
+        value &= (1 << 64) - 1
+    return value
+
+
+def rng_state(rng: np.random.Generator) -> Dict[str, Any]:
+    """JSON-serializable snapshot of a generator's exact stream position.
+
+    The built-in workloads avoid live generator state entirely (they
+    re-derive substreams with :func:`derive_rng`), but a custom workload that
+    *does* hold a generator across steps can checkpoint it with this and
+    continue the stream bit-for-bit via :func:`restore_rng`.
+    """
+    state = rng.bit_generator.state
+    return {"bit_generator": state["bit_generator"], "state": _jsonify(state)}
+
+
+def restore_rng(snapshot: Dict[str, Any]) -> np.random.Generator:
+    """Rebuild a generator from a :func:`rng_state` snapshot."""
+    name = snapshot["bit_generator"]
+    bit_generator_cls = getattr(np.random, name, None)
+    if bit_generator_cls is None:
+        raise ValueError(f"unknown bit generator {name!r}")
+    bit_generator = bit_generator_cls()
+    bit_generator.state = _dejsonify(snapshot["state"])
+    return np.random.Generator(bit_generator)
+
+
+def _jsonify(value):
+    """Convert a bit-generator state dict into plain JSON types."""
+    if isinstance(value, dict):
+        return {k: _jsonify(v) for k, v in value.items()}
+    if isinstance(value, np.ndarray):
+        return {"__ndarray__": value.tolist(), "dtype": value.dtype.str}
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    return value
+
+
+def _dejsonify(value):
+    if isinstance(value, dict):
+        if "__ndarray__" in value:
+            return np.asarray(value["__ndarray__"], dtype=np.dtype(value["dtype"]))
+        return {k: _dejsonify(v) for k, v in value.items()}
+    return value

@@ -1,0 +1,502 @@
+"""Tests for the config-driven simulation runner (repro.sim).
+
+Covers the RunSpec config layer, the versioned serialization round trips
+(MPS, PEPS with attached environments, option objects), atomic checkpoint
+files, and — the load-bearing guarantee — that interrupted-and-resumed runs
+reproduce uninterrupted ones float-for-float.
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro import peps
+from repro.mps.mps import MPS
+from repro.operators.hamiltonians import heisenberg_j1j2
+from repro.operators.observable import Observable
+from repro.peps import BMPS, Exact, QRUpdate, TwoLayerBMPS
+from repro.sim import (
+    RunSpec,
+    SerializationError,
+    Simulation,
+    contract_option_from_dict,
+    contract_option_to_dict,
+    latest_checkpoint,
+    load_checkpoint,
+    mps_from_dict,
+    mps_to_dict,
+    peps_from_dict,
+    peps_to_dict,
+    update_option_from_dict,
+    update_option_to_dict,
+)
+from repro.sim.io import atomic_write_json, write_checkpoint
+from repro.sim.sinks import JSONLSink, MemorySink, make_sink
+from repro.tensornetwork import ExplicitSVD, ImplicitRandomizedSVD
+
+MODEL = {"kind": "heisenberg_j1j2", "j1": [1.0, 1.0, 1.0],
+         "j2": [0.5, 0.5, 0.5], "field": [0.2, 0.2, 0.2]}
+
+
+def ite_spec(tmp_path, n_steps=6, checkpoint_every=2, **overrides):
+    payload = {
+        "name": "test-ite",
+        "workload": "ite",
+        "lattice": [2, 2],
+        "n_steps": n_steps,
+        "seed": 7,
+        "model": MODEL,
+        "algorithm": {"tau": 0.05},
+        "update": {"kind": "qr", "rank": 2},
+        "contraction": {"kind": "ibmps", "bond": 4, "niter": 1, "seed": 0},
+        "measure_every": 1,
+        "checkpoint_every": checkpoint_every,
+        "checkpoint_dir": str(tmp_path / "ckpt"),
+    }
+    payload.update(overrides)
+    return RunSpec.from_dict(payload)
+
+
+class TestRunSpec:
+    def test_dict_round_trip(self, tmp_path):
+        spec = ite_spec(tmp_path)
+        again = RunSpec.from_dict(spec.to_dict())
+        assert again == spec
+
+    def test_json_round_trip(self, tmp_path):
+        spec = ite_spec(tmp_path)
+        again = RunSpec.from_json(spec.to_json())
+        assert again == spec
+
+    def test_from_file(self, tmp_path):
+        spec = ite_spec(tmp_path)
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        assert RunSpec.from_file(path) == spec
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown RunSpec fields"):
+            RunSpec.from_dict({"workload": "ite", "bogus_field": 1})
+
+    def test_builders(self, tmp_path):
+        spec = ite_spec(tmp_path)
+        ham = spec.build_model()
+        assert ham.n_sites == 4
+        update = spec.build_update_option()
+        assert isinstance(update, QRUpdate) and update.rank == 2
+        contract = spec.build_contract_option()
+        assert isinstance(contract, BMPS)
+        svd = contract.resolved_svd_option()
+        assert isinstance(svd, ImplicitRandomizedSVD)
+        assert svd.rank == 4 and svd.seed == 0
+
+    def test_observables_string_becomes_single_name(self, tmp_path):
+        spec = ite_spec(tmp_path, observables="norm")
+        assert spec.observables == ("norm",)
+
+    def test_contraction_exact_rejects_extra_keys(self, tmp_path):
+        spec = ite_spec(tmp_path, contraction={"kind": "exact", "bond": 4})
+        with pytest.raises(ValueError, match="unknown contraction config keys"):
+            spec.build_contract_option()
+
+    def test_contraction_bond_rank_conflict_rejected(self, tmp_path):
+        spec = ite_spec(tmp_path, contraction={"kind": "ibmps", "bond": 4, "rank": 2})
+        with pytest.raises(ValueError, match="not both"):
+            spec.build_contract_option()
+
+    def test_contraction_unknown_kind_rejected(self, tmp_path):
+        spec = ite_spec(tmp_path, contraction={"kind": "nope", "bond": 4})
+        with pytest.raises(ValueError, match="unknown contraction kind"):
+            spec.build_contract_option()
+
+    def test_contraction_io_layer_form_accepted(self, tmp_path):
+        svd = {"kind": "implicit", "rank": 4, "seed": 0}
+        spec = ite_spec(tmp_path, contraction={"kind": "two_layer_ibmps", "svd": svd})
+        option = spec.build_contract_option()
+        assert isinstance(option, TwoLayerBMPS)
+        assert option.truncation_bond == 4
+
+    def test_unknown_model_kind(self, tmp_path):
+        spec = ite_spec(tmp_path, model={"kind": "nope"})
+        with pytest.raises(ValueError, match="unknown model kind"):
+            spec.build_model()
+
+    def test_unknown_workload(self, tmp_path):
+        spec = ite_spec(tmp_path, workload="nope")
+        with pytest.raises(ValueError, match="unknown workload"):
+            Simulation(spec)
+
+
+class TestOptionSerialization:
+    @pytest.mark.parametrize("option", [
+        None,
+        Exact(),
+        BMPS(ExplicitSVD(rank=4, cutoff=1e-10)),
+        BMPS(ImplicitRandomizedSVD(rank=8, niter=2, oversample=3, seed=5)),
+        TwoLayerBMPS(ExplicitSVD(rank=6)),
+    ])
+    def test_contract_round_trip(self, option):
+        payload = contract_option_to_dict(option)
+        if payload is not None:
+            json.dumps(payload)  # must be JSON-serializable
+        again = contract_option_from_dict(payload)
+        assert type(again) is type(option)
+        if isinstance(option, BMPS):
+            assert again.truncation_bond == option.truncation_bond
+            assert type(again.resolved_svd_option()) is type(option.resolved_svd_option())
+
+    @pytest.mark.parametrize("option", [
+        None,
+        QRUpdate(rank=3, cutoff=1e-12),
+        QRUpdate(rank=2, svd_option=ImplicitRandomizedSVD(rank=2, seed=1)),
+    ])
+    def test_update_round_trip(self, option):
+        payload = update_option_to_dict(option)
+        again = update_option_from_dict(payload)
+        assert type(again) is type(option)
+        if option is not None:
+            assert again.rank == option.rank and again.cutoff == option.cutoff
+
+    def test_generator_seed_rejected(self):
+        option = BMPS(ImplicitRandomizedSVD(rank=4, seed=np.random.default_rng(0)))
+        with pytest.raises(SerializationError, match="integer"):
+            contract_option_to_dict(option)
+
+
+class TestStateSerialization:
+    def test_mps_bitwise_round_trip(self):
+        mps = MPS.random(5, phys_dim=2, bond_dim=3, rng=1)
+        again = mps_from_dict(mps_to_dict(mps))
+        for a, b in zip(mps.tensors, again.tensors):
+            np.testing.assert_array_equal(np.asarray(a), np.asarray(b))
+        assert again.norm() == mps.norm()
+
+    def test_peps_bitwise_round_trip(self):
+        state = peps.random_peps(3, 3, bond_dim=2, seed=2)
+        again = peps_from_dict(peps_to_dict(state))
+        for i in range(3):
+            for j in range(3):
+                np.testing.assert_array_equal(
+                    np.asarray(state.grid[i][j]), np.asarray(again.grid[i][j])
+                )
+
+    def test_peps_with_environment_round_trip(self):
+        """PEPS + EnvBoundaryMPS serialize -> restore: norm and expectation agree."""
+        state = peps.random_peps(3, 3, bond_dim=2, seed=3)
+        env = state.attach_environment(BMPS(ExplicitSVD(rank=4)))
+        obs = Observable.sum(Observable.Z(s) for s in range(state.n_sites))
+        norm_before = state.norm()
+        expect_before = state.expectation(obs)
+        absorptions_before = env.stats.row_absorptions
+
+        restored = peps_from_dict(peps_to_dict(state))
+        assert restored.environment is not None
+        # The caches were serialized warm: no new row absorptions for the norm.
+        assert restored.environment.stats.row_absorptions == 0
+        assert restored.norm() == pytest.approx(norm_before, abs=1e-12)
+        assert restored.environment.stats.row_absorptions == 0
+        assert restored.expectation(obs) == pytest.approx(expect_before, abs=1e-12)
+        assert absorptions_before > 0
+
+    def test_environment_option_survives(self):
+        state = peps.random_peps(2, 2, bond_dim=2, seed=4)
+        state.attach_environment(BMPS(ImplicitRandomizedSVD(rank=4, seed=9)))
+        restored = peps_from_dict(peps_to_dict(state))
+        option = restored.environment.contract_option
+        assert option.resolved_svd_option().seed == 9
+
+    def test_format_version_checked(self):
+        state = peps.random_peps(2, 2, bond_dim=1, seed=0)
+        payload = peps_to_dict(state)
+        payload["format_version"] = 999
+        with pytest.raises(SerializationError, match="version"):
+            peps_from_dict(payload)
+
+
+class TestCheckpointFiles:
+    def test_atomic_write_and_load(self, tmp_path):
+        path = write_checkpoint(
+            tmp_path, "run", 10, {"spec": True}, {"state": 1}, [{"step": 10}]
+        )
+        payload = load_checkpoint(path)
+        assert payload["step"] == 10
+        assert payload["records"] == [{"step": 10}]
+
+    def test_latest_and_pruning(self, tmp_path):
+        for step in (2, 4, 6, 8):
+            write_checkpoint(tmp_path, "run", step, {}, {}, [], keep=2)
+        names = sorted(os.listdir(tmp_path))
+        assert names == ["run-step000006.ckpt.json", "run-step000008.ckpt.json"]
+        assert latest_checkpoint(tmp_path, "run").endswith("run-step000008.ckpt.json")
+        assert latest_checkpoint(tmp_path, "other") is None
+
+    def test_fresh_run_clears_stale_checkpoints(self, tmp_path):
+        """A rerun into a directory with a superseded session's higher-step
+        checkpoints must not have them shadow or outlive its own."""
+        spec = ite_spec(tmp_path, n_steps=6, checkpoint_every=2)
+        Simulation(spec).run()  # leaves checkpoints up to step 6
+        short = ite_spec(tmp_path, n_steps=4, checkpoint_every=2)
+        partial = Simulation(short).run(stop_after=2)
+        assert partial.checkpoint_path is not None
+        assert os.path.exists(partial.checkpoint_path)
+        steps = sorted(
+            int(n.rsplit("-step", 1)[1].split(".")[0])
+            for n in os.listdir(tmp_path / "ckpt")
+        )
+        assert steps == [2]  # stale step-4/6 checkpoints are gone
+        resumed = Simulation(short).run(resume=True)
+        assert resumed.final_step == 4
+
+    def test_no_tmp_files_left(self, tmp_path):
+        atomic_write_json(tmp_path / "out.json", {"a": 1})
+        assert [p for p in os.listdir(tmp_path) if p.startswith(".tmp")] == []
+
+
+class TestSinks:
+    def test_make_sink(self, tmp_path):
+        assert isinstance(make_sink(None), MemorySink)
+        assert isinstance(make_sink(tmp_path / "x.jsonl"), JSONLSink)
+
+    def test_jsonl_rewrites_prior_records(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        sink = JSONLSink(path)
+        sink.open([{"step": 1}])
+        sink.write({"step": 2})
+        sink.close()
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines == [{"step": 1}, {"step": 2}]
+
+
+class TestResumeReproducibility:
+    def test_ite_resume_matches_uninterrupted(self, tmp_path):
+        """Interrupt an ITE run mid-flight; the resumed trace is bitwise equal."""
+        spec = ite_spec(tmp_path)
+        reference = Simulation(spec).run()
+        assert not reference.interrupted
+        assert len(reference.records) == spec.n_steps
+
+        spec2 = ite_spec(tmp_path, checkpoint_dir=str(tmp_path / "ckpt2"))
+        partial = Simulation(spec2).run(stop_after=3)
+        assert partial.interrupted and partial.final_step == 3
+        resumed = Simulation(spec2).run(resume=True)
+        assert not resumed.interrupted
+        # Float-for-float: identical record dicts, not just approximately.
+        assert resumed.records == reference.records
+
+    def test_ite_150_steps_interrupted_at_75(self, tmp_path):
+        """The acceptance scenario: a 150-step Fig. 13-style run interrupted at
+        step 75 resumes to the exact uninterrupted energy trajectory."""
+        common = dict(n_steps=150, checkpoint_every=75, measure_every=10)
+        reference = Simulation(
+            ite_spec(tmp_path, checkpoint_dir=str(tmp_path / "ref-ckpt"), **common)
+        ).run()
+        spec = ite_spec(tmp_path, checkpoint_dir=str(tmp_path / "int-ckpt"), **common)
+        partial = Simulation(spec).run(stop_after=75)
+        assert partial.interrupted and partial.final_step == 75
+        resumed = Simulation(spec).run(resume=True)
+        assert resumed.final_step == 150
+        assert resumed.records == reference.records
+        assert [r["step"] for r in resumed.records] == list(range(10, 151, 10))
+
+    def test_vqe_resume_matches_uninterrupted(self, tmp_path):
+        payload = {
+            "name": "test-vqe", "workload": "vqe", "lattice": [2, 2],
+            "n_steps": 4, "seed": 3,
+            "model": {"kind": "transverse_field_ising", "jz": -1.0, "hx": -3.5},
+            "algorithm": {"n_layers": 1, "iters_per_step": 2},
+            "update": {"kind": "qr", "rank": 2},
+            "contraction": {"kind": "bmps", "bond": 4},
+            "checkpoint_every": 2,
+        }
+        ref_spec = RunSpec.from_dict({**payload, "checkpoint_dir": str(tmp_path / "a")})
+        reference = Simulation(ref_spec).run()
+        spec = RunSpec.from_dict({**payload, "checkpoint_dir": str(tmp_path / "b")})
+        partial = Simulation(spec).run(stop_after=2)
+        assert partial.interrupted
+        resumed = Simulation(spec).run(resume=True)
+        assert resumed.records == reference.records
+
+    def test_rqc_resume_matches_uninterrupted(self, tmp_path):
+        payload = {
+            "name": "test-rqc", "workload": "rqc_amplitude", "lattice": [2, 2],
+            "seed": 5,
+            "algorithm": {"n_layers": 4},
+            "update": {"kind": "qr"},
+            "contraction": {"kind": "exact"},
+            "measure_every": 10,
+            "checkpoint_every": 7,
+        }
+        ref_spec = RunSpec.from_dict({**payload, "checkpoint_dir": str(tmp_path / "a")})
+        reference = Simulation(ref_spec).run()
+        assert reference.final_step == 20  # 4 layers x 4 qubits + 1 iSWAP round
+        spec = RunSpec.from_dict({**payload, "checkpoint_dir": str(tmp_path / "b")})
+        Simulation(spec).run(stop_after=9)
+        resumed = Simulation(spec).run(resume=True)
+        assert resumed.records == reference.records
+
+    def test_rqc_requires_integer_seed(self):
+        spec = RunSpec.from_dict({
+            "name": "rqc-noseed", "workload": "rqc_amplitude", "lattice": [2, 2],
+            "seed": None, "algorithm": {"n_layers": 4},
+        })
+        with pytest.raises(ValueError, match="integer RunSpec seed"):
+            Simulation(spec).run()
+
+    def test_resume_accepts_tuple_vs_list_configs(self, tmp_path):
+        """In-memory tuples vs JSON lists in model configs must not block resume."""
+        spec = ite_spec(tmp_path)
+        Simulation(spec).run(stop_after=2)
+        tupled = ite_spec(
+            tmp_path,
+            model={"kind": "heisenberg_j1j2", "j1": (1.0, 1.0, 1.0),
+                   "j2": (0.5, 0.5, 0.5), "field": (0.2, 0.2, 0.2)},
+        )
+        resumed = Simulation(tupled).run(resume=True)
+        assert not resumed.interrupted
+
+    def test_resume_requires_checkpoint(self, tmp_path):
+        spec = ite_spec(tmp_path, checkpoint_dir=str(tmp_path / "empty"))
+        with pytest.raises(FileNotFoundError):
+            Simulation(spec).run(resume=True)
+
+    def test_resume_rejects_incompatible_spec(self, tmp_path):
+        spec = ite_spec(tmp_path)
+        Simulation(spec).run(stop_after=2)
+        other = ite_spec(tmp_path, seed=99)
+        with pytest.raises(ValueError, match="incompatible"):
+            Simulation(other).run(resume=True)
+
+    def test_resume_rejects_changed_physics(self, tmp_path):
+        """Editing tau/model/options between sessions must not silently mix dynamics."""
+        spec = ite_spec(tmp_path)
+        Simulation(spec).run(stop_after=2)
+        with pytest.raises(ValueError, match="algorithm"):
+            Simulation(ite_spec(tmp_path, algorithm={"tau": 0.1})).run(resume=True)
+        with pytest.raises(ValueError, match="contraction"):
+            Simulation(
+                ite_spec(tmp_path, contraction={"kind": "ibmps", "bond": 8, "seed": 0})
+            ).run(resume=True)
+
+    def test_resume_allows_extending_n_steps(self, tmp_path):
+        """Schedule fields may change: resuming with a larger n_steps extends the run."""
+        spec = ite_spec(tmp_path, n_steps=4)
+        Simulation(spec).run()
+        extended = Simulation(ite_spec(tmp_path, n_steps=6)).run(resume=True)
+        assert extended.final_step == 6
+        reference = Simulation(
+            ite_spec(tmp_path, n_steps=6, checkpoint_dir=str(tmp_path / "ref"))
+        ).run()
+        assert extended.records == reference.records
+
+
+class TestRunnerFeatures:
+    def test_measurement_hooks_and_schedule(self, tmp_path):
+        spec = ite_spec(tmp_path, n_steps=6, checkpoint_every=0, measure_every=2)
+        sim = Simulation(spec)
+        sim.add_measurement_hook("extra", lambda s, step: {"twice": 2 * step})
+        result = sim.run()
+        assert [r["step"] for r in result.records] == [2, 4, 6]
+        assert all(r["twice"] == 2 * r["step"] for r in result.records)
+        assert all("energy" in r and "max_bond" in r for r in result.records)
+
+    def test_results_jsonl_stream(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        spec = ite_spec(tmp_path, n_steps=3, checkpoint_every=0, results=str(path))
+        result = Simulation(spec).run()
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines == result.records
+
+    def test_sample_observable_uses_run_seed(self, tmp_path):
+        spec = ite_spec(
+            tmp_path, n_steps=2, checkpoint_every=0,
+            observables=["sample"], algorithm={"tau": 0.05, "nshots": 3},
+        )
+        a = Simulation(spec).run()
+        b = Simulation(spec).run()
+        assert a.records == b.records  # sampling derives from the RunSpec seed
+        assert np.asarray(a.records[-1]["samples"]).shape == (3, 4)
+
+    def test_vqe_statevector_workload(self, tmp_path):
+        spec = RunSpec.from_dict({
+            "name": "sv", "workload": "vqe", "lattice": [2, 2],
+            "n_steps": 3, "seed": 0,
+            "model": {"kind": "transverse_field_ising"},
+            "algorithm": {"n_layers": 1, "simulator": "statevector",
+                          "iters_per_step": 5},
+        })
+        result = Simulation(spec).run()
+        assert result.energies[-1] <= result.energies[0] + 1e-12
+
+
+class TestCLI:
+    def test_cli_interrupt_resume_round_trip(self, tmp_path):
+        """The CI smoke scenario: run, 'crash' at a checkpoint, resume, compare."""
+        spec_path = tmp_path / "spec.json"
+        spec = ite_spec(
+            tmp_path, n_steps=5, checkpoint_every=2,
+            checkpoint_dir=str(tmp_path / "cli-ckpt"),
+        )
+        spec_path.write_text(spec.to_json())
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+
+        def cli(*args):
+            return subprocess.run(
+                [sys.executable, "-m", "repro.sim", str(spec_path), "--quiet", *args],
+                env=env, cwd=tmp_path, capture_output=True, text=True,
+            )
+
+        ref = cli("--results", str(tmp_path / "ref.jsonl"),
+                  "--checkpoint-dir", str(tmp_path / "ref-ckpt"))
+        assert ref.returncode == 0, ref.stderr
+        crashed = cli("--results", str(tmp_path / "out.jsonl"), "--stop-after", "3")
+        assert crashed.returncode == 3, crashed.stderr
+        resumed = cli("--results", str(tmp_path / "out.jsonl"), "--resume")
+        assert resumed.returncode == 0, resumed.stderr
+        assert (tmp_path / "out.jsonl").read_text() == (tmp_path / "ref.jsonl").read_text()
+
+
+class TestDeepCopyHelpers:
+    def test_peps_copy_is_deep(self):
+        state = peps.random_peps(2, 2, bond_dim=2, seed=0)
+        for clone in (state.copy(), copy.copy(state), copy.deepcopy(state)):
+            before = np.asarray(state.grid[0][0]).copy()
+            clone.grid[0][0] = clone.grid[0][0] * 2.0
+            np.testing.assert_array_equal(np.asarray(state.grid[0][0]), before)
+
+    def test_mps_copy_is_deep(self):
+        mps = MPS.random(4, rng=0)
+        for clone in (mps.copy(), copy.copy(mps), copy.deepcopy(mps)):
+            before = np.asarray(mps.tensors[0]).copy()
+            clone.tensors[0] = clone.tensors[0] * 2.0
+            np.testing.assert_array_equal(np.asarray(mps.tensors[0]), before)
+
+
+class TestDeprecations:
+    def test_expectation_value_shim_warns(self):
+        from repro.peps.expectation import expectation_value
+
+        state = peps.random_peps(2, 2, bond_dim=1, seed=0)
+        with pytest.warns(DeprecationWarning, match="environment API"):
+            expectation_value(state, Observable.Z(0), use_cache=False)
+
+    def test_environment_cache_shim_warns(self):
+        from repro.peps.expectation import EnvironmentCache
+
+        state = peps.random_peps(2, 2, bond_dim=1, seed=0)
+        with pytest.warns(DeprecationWarning, match="attach_environment"):
+            EnvironmentCache(state, None, None)
+
+    def test_peps_expectation_does_not_warn(self):
+        import warnings
+
+        state = peps.random_peps(2, 2, bond_dim=1, seed=0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            state.expectation(Observable.Z(0), use_cache=False)

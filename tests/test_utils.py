@@ -15,7 +15,7 @@ from repro.utils.flops import (
     svd_flops,
     tensor_bytes,
 )
-from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.rng import derive_rng, ensure_rng, restore_rng, rng_state, spawn_rng
 from repro.utils.timer import Timer, WallClock
 
 
@@ -39,6 +39,36 @@ class TestRng:
             assert np.array_equal(ca.integers(0, 100, 5), cb.integers(0, 100, 5))
         draws = [c.integers(0, 10**9) for c in spawn_rng(ensure_rng(11), 3)]
         assert len(set(int(d) for d in draws)) == 3
+
+    def test_derive_rng_is_deterministic_per_key(self):
+        a = derive_rng(7, "circuit").integers(0, 1 << 30, 8)
+        b = derive_rng(7, "circuit").integers(0, 1 << 30, 8)
+        c = derive_rng(7, "sample", 3).integers(0, 1 << 30, 8)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_derive_rng_distinct_beyond_32_bits(self):
+        # Seeds differing only above bit 32 must still derive distinct streams.
+        a = derive_rng(5, "x").integers(0, 1 << 30, 8)
+        b = derive_rng(5 + (1 << 32), "x").integers(0, 1 << 30, 8)
+        assert not np.array_equal(a, b)
+
+    def test_derive_rng_negative_seed_supported(self):
+        a = derive_rng(-1, "x").integers(0, 1 << 30, 8)
+        b = derive_rng(-1, "x").integers(0, 1 << 30, 8)
+        c = derive_rng(1, "x").integers(0, 1 << 30, 8)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_rng_state_round_trip_continues_stream(self):
+        import json
+
+        rng = ensure_rng(42)
+        rng.integers(0, 100, 10)  # advance the stream
+        snapshot = json.loads(json.dumps(rng_state(rng)))  # must be JSON-safe
+        expected = rng.integers(0, 1 << 30, 16)
+        resumed = restore_rng(snapshot).integers(0, 1 << 30, 16)
+        assert np.array_equal(expected, resumed)
 
     def test_spawn_rng_negative_raises(self):
         with pytest.raises(ValueError):
