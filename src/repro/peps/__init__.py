@@ -14,11 +14,12 @@ The module-level constructors mirror the Koala API of the paper::
 
 Cached contraction state lives in the pluggable environment subsystem
 (:mod:`repro.peps.envs`).  An :class:`~repro.peps.envs.base.Environment`
-(``EnvExact`` or ``EnvBoundaryMPS``) owns the upper/lower boundary MPS lists
-of the ``<psi|psi>`` sandwich, invalidates them *incrementally* when operator
-applications touch lattice rows, and serves norms, multi-term expectation
-values, batched ``measure_1site``/``measure_2site`` passes, and basis-state
-``sample`` draws from the same caches::
+(``EnvExact``, ``EnvBoundaryMPS`` or the corner-transfer-matrix ``EnvCTM``)
+owns the directional boundary caches of the ``<psi|psi>`` sandwich,
+invalidates them *incrementally* when operator applications touch lattice
+rows, and serves norms, multi-term expectation values, batched
+``measure_1site``/``measure_2site`` passes, and basis-state ``sample`` draws
+from the same caches::
 
     env = qstate.attach_environment(BMPS(ImplicitRandomizedSVD(rank=4)))
     qstate.expectation(H)                 # incremental boundary reuse
@@ -45,6 +46,7 @@ from repro.peps.update import (
 from repro.peps.contraction import (
     BMPS,
     ContractOption,
+    CTMOption,
     Exact,
     TwoLayerBMPS,
     contract_single_layer,
@@ -56,6 +58,7 @@ from repro.peps.expectation import (
 )
 from repro.peps.envs import (
     EnvBoundaryMPS,
+    EnvCTM,
     EnvExact,
     Environment,
     make_environment,
@@ -76,6 +79,7 @@ __all__ = [
     "UpdateOption",
     "BMPS",
     "ContractOption",
+    "CTMOption",
     "Exact",
     "TwoLayerBMPS",
     "contract_single_layer",
@@ -85,5 +89,6 @@ __all__ = [
     "Environment",
     "EnvExact",
     "EnvBoundaryMPS",
+    "EnvCTM",
     "make_environment",
 ]

@@ -18,6 +18,7 @@ targets.  This subpackage provides:
 
 from repro.peps.contraction.options import (
     ContractOption,
+    CTMOption,
     Exact,
     BMPS,
     TwoLayerBMPS,
@@ -36,6 +37,7 @@ from repro.peps.contraction.two_layer import (
 
 __all__ = [
     "ContractOption",
+    "CTMOption",
     "Exact",
     "BMPS",
     "TwoLayerBMPS",

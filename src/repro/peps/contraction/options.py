@@ -17,6 +17,10 @@ The Koala-style API lets callers write, for example::
 * :class:`TwoLayerBMPS` — boundary MPS on the ``<bra|ket>`` sandwich keeping
   the two layers separate (two-layer BMPS / two-layer IBMPS), which never
   materializes the fused tensors.
+* :class:`CTMOption` — corner-transfer-matrix environments: directional
+  row absorptions truncated with projectors built from the corner Gram
+  matrices of the half-system, to an environment bond ``chi``.  Selects
+  :class:`~repro.peps.envs.ctm.EnvCTM` wherever environments are dispatched.
 """
 
 from __future__ import annotations
@@ -86,3 +90,37 @@ class TwoLayerBMPS(BMPS):
     def describe(self) -> str:
         name = "2-layer IBMPS" if self.is_implicit else "2-layer BMPS"
         return f"{name}(m={self.truncation_bond})"
+
+
+@dataclass
+class CTMOption(ContractOption):
+    """Corner-transfer-matrix (CTM) environment contraction.
+
+    Each directional move absorbs one lattice row into an edge-tensor
+    boundary and renormalizes every internal bond with projectors built
+    from the corner Gram matrices (the corner transfer matrices of the
+    doubled half-system), truncated by :func:`repro.linalg.truncated_svd`.
+
+    Parameters
+    ----------
+    chi:
+        Environment bond dimension the corner projectors truncate to;
+        ``None`` never truncates (exact CTM, small lattices only).
+    cutoff:
+        Relative corner-spectrum cutoff: singular values below
+        ``cutoff * s[0]`` are discarded even when ``chi`` permits more.
+    tol:
+        Convergence criterion on the corner spectra: a ``build`` sweep is
+        converged when re-running every stale move changes no normalized
+        corner spectrum by more than ``tol`` (infinity norm).
+    max_sweeps:
+        Safety bound on ``build`` convergence sweeps.
+    """
+
+    chi: Optional[int] = None
+    cutoff: Optional[float] = None
+    tol: float = 1e-10
+    max_sweeps: int = 4
+
+    def describe(self) -> str:
+        return f"CTM(chi={self.chi})"

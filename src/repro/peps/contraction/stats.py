@@ -7,11 +7,17 @@ counter lets tests and benchmarks compare algorithm variants by the number of
 absorptions they perform instead of wall-clock noise (e.g. that an ITE sweep
 holding one persistent environment performs strictly fewer absorptions than
 per-step rebuilds).
+
+A *CTM move* is the corner-transfer-matrix counterpart: one directional
+absorption of a lattice row into an edge-tensor boundary, truncated with
+corner-Gram projectors (see :mod:`repro.peps.envs.ctm`).  Every CTM move also
+counts as one row absorption, so the shared ``row_absorptions`` counter stays
+comparable across environment implementations.
 """
 
 from __future__ import annotations
 
-_COUNTS = {"row_absorptions": 0}
+_COUNTS = {"row_absorptions": 0, "ctm_moves": 0}
 
 
 def count_row_absorption(n: int = 1) -> None:
@@ -26,3 +32,17 @@ def absorption_count() -> int:
 
 def reset_absorption_count() -> None:
     _COUNTS["row_absorptions"] = 0
+
+
+def count_ctm_move(n: int = 1) -> None:
+    """Record ``n`` corner-transfer-matrix moves."""
+    _COUNTS["ctm_moves"] += n
+
+
+def ctm_move_count() -> int:
+    """Total CTM moves (directional corner/edge absorptions) since reset."""
+    return _COUNTS["ctm_moves"]
+
+
+def reset_ctm_move_count() -> None:
+    _COUNTS["ctm_moves"] = 0

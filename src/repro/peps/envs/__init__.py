@@ -18,11 +18,17 @@ the touched sweep segments::
     energy = env.expectation(H)            # recomputes just the dirty segments
     magnetization = env.measure_1site(Z)   # all sites, one cached pass
     shots = env.sample(rng=0, nshots=100)  # basis-state samples
+
+Three implementations share the protocol: :class:`EnvExact` (untruncated),
+:class:`EnvBoundaryMPS` (zip-up/IBMPS truncation) and :class:`EnvCTM`
+(corner-transfer-matrix renormalization with corner-Gram projectors,
+selected by a :class:`~repro.peps.contraction.options.CTMOption`).
 """
 
 from repro.peps.envs.base import Environment, EnvStats, local_terms
 from repro.peps.envs.boundary import BoundaryEnvironment, option_signature
 from repro.peps.envs.boundary_mps import EnvBoundaryMPS, make_environment
+from repro.peps.envs.ctm import EnvCTM, corner_grams, ctm_renormalize
 from repro.peps.envs.exact import EnvExact
 from repro.peps.envs.sampling import sample_bitstrings
 from repro.peps.envs.strip import operator_pieces, strip_value
@@ -33,10 +39,13 @@ __all__ = [
     "BoundaryEnvironment",
     "EnvExact",
     "EnvBoundaryMPS",
+    "EnvCTM",
     "make_environment",
     "option_signature",
     "local_terms",
     "sample_bitstrings",
     "operator_pieces",
     "strip_value",
+    "corner_grams",
+    "ctm_renormalize",
 ]

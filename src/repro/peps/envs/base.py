@@ -37,18 +37,23 @@ class EnvStats:
     ``row_absorptions`` is the load-bearing one: each unit is one boundary-MPS
     row absorption (the dominant cost of every PEPS contraction), so it
     measures how much recomputation the incremental invalidation saved.
+    ``ctm_moves`` counts the corner-transfer-matrix moves of
+    :class:`~repro.peps.envs.ctm.EnvCTM` (each move also counts as one row
+    absorption, keeping the shared counter comparable across environments).
     """
 
     row_absorptions: int = 0
     strip_contractions: int = 0
     invalidations: int = 0
     norm_evaluations: int = 0
+    ctm_moves: int = 0
 
     def reset(self) -> None:
         self.row_absorptions = 0
         self.strip_contractions = 0
         self.invalidations = 0
         self.norm_evaluations = 0
+        self.ctm_moves = 0
 
 
 def local_terms(observable) -> List[Tuple[Tuple[int, ...], np.ndarray]]:

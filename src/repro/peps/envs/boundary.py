@@ -22,7 +22,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.peps.contraction.options import BMPS, ContractOption, Exact
+from repro.peps.contraction.options import BMPS, ContractOption, CTMOption, Exact
 from repro.peps.contraction.two_layer import (
     absorb_sandwich_row,
     close_boundaries,
@@ -42,6 +42,10 @@ def option_signature(contract_option: Optional[ContractOption]) -> Tuple:
     """
     if contract_option is None or isinstance(contract_option, Exact):
         return ("exact", None)
+    if isinstance(contract_option, CTMOption):
+        # tol/max_sweeps only steer convergence bookkeeping, not the cached
+        # tensors, so environments with different values stay interchangeable.
+        return ("ctm", contract_option.chi, contract_option.cutoff)
     if isinstance(contract_option, BMPS):
         svd = contract_option.resolved_svd_option()
         return _svd_signature(svd, svd.rank)
@@ -129,17 +133,23 @@ class BoundaryEnvironment(Environment):
             return False
 
     def invalidate(self, rows: Optional[Iterable[int]] = None) -> None:
-        self.stats.invalidations += 1
         if rows is None:
+            self.stats.invalidations += 1
             self._upper_valid = 0
             self._lower_valid = self.nrow - 1
-        else:
-            for r in rows:
-                r = int(r)
-                if not (0 <= r < self.nrow):
-                    raise ValueError(f"row {r} outside a lattice with {self.nrow} rows")
-                self._upper_valid = min(self._upper_valid, r)
-                self._lower_valid = max(self._lower_valid, r)
+            self._norm_sq = None
+            return
+        rows = [int(r) for r in rows]
+        if not rows:
+            # Nothing went stale: no-op operator paths (e.g. an empty gate
+            # batch) must keep the cache — including _norm_sq — warm.
+            return
+        self.stats.invalidations += 1
+        for r in rows:
+            if not (0 <= r < self.nrow):
+                raise ValueError(f"row {r} outside a lattice with {self.nrow} rows")
+            self._upper_valid = min(self._upper_valid, r)
+            self._lower_valid = max(self._lower_valid, r)
         self._norm_sq = None
 
     def build(self) -> "BoundaryEnvironment":
@@ -202,25 +212,33 @@ class BoundaryEnvironment(Environment):
     # ------------------------------------------------------------------ #
     # Cached queries
     # ------------------------------------------------------------------ #
+    def _absorbs_exactly(self) -> bool:
+        """Whether row absorptions are exact (no truncation ever happens)."""
+        return self.svd_option is None
+
+    def _norm_meeting_row(self) -> int:
+        """The row ``i`` whose ``upper[i] x lower[i-1]`` closure serves the norm."""
+        if self._absorbs_exactly():
+            # Exact absorptions: every upper[i]/lower[i-1] closure is the
+            # same scalar, so close the pair needing the fewest new
+            # absorptions (ties prefer the larger meeting row, matching
+            # the seed's upper[nrow] x trivial closure on a cold cache).
+            best_i, best_cost = None, None
+            for i in range(self.nrow, 0, -1):
+                cost = max(0, i - self._upper_valid) + max(0, self._lower_valid - (i - 1))
+                if best_cost is None or cost < best_cost:
+                    best_i, best_cost = i, cost
+            return best_i
+        # Truncated absorptions: different meeting rows give slightly
+        # different estimates, so always close the full top sweep to
+        # keep the norm a deterministic function of (state, option)
+        # regardless of cache/invalidation history.
+        return self.nrow
+
     def norm_sq(self) -> complex:
         if self._norm_sq is None:
             self.stats.norm_evaluations += 1
-            if self.svd_option is None:
-                # Exact absorptions: every upper[i]/lower[i-1] closure is the
-                # same scalar, so close the pair needing the fewest new
-                # absorptions (ties prefer the larger meeting row, matching
-                # the seed's upper[nrow] x trivial closure on a cold cache).
-                best_i, best_cost = None, None
-                for i in range(self.nrow, 0, -1):
-                    cost = max(0, i - self._upper_valid) + max(0, self._lower_valid - (i - 1))
-                    if best_cost is None or cost < best_cost:
-                        best_i, best_cost = i, cost
-            else:
-                # Truncated absorptions: different meeting rows give slightly
-                # different estimates, so always close the full top sweep to
-                # keep the norm a deterministic function of (state, option)
-                # regardless of cache/invalidation history.
-                best_i = self.nrow
+            best_i = self._norm_meeting_row()
             upper = self.ensure_upper(best_i)
             lower = self.ensure_lower(best_i - 1)
             self._norm_sq = close_boundaries(self.backend, upper, lower)
@@ -344,6 +362,23 @@ class BoundaryEnvironment(Environment):
         only the per-shot projected upper boundaries are recomputed.
         """
         return sample_bitstrings(self, rng=rng, nshots=nshots)
+
+    def absorb_for_sampling(self, upper, projected_row):
+        """Absorb one basis-projected row into a per-shot upper boundary.
+
+        The sampling sweep (:func:`~repro.peps.envs.sampling.sample_bitstrings`)
+        routes its boundary growth through this hook so each environment
+        truncates the projected boundaries with its own scheme.
+        """
+        self.stats.row_absorptions += 1
+        return absorb_sandwich_row(
+            upper,
+            projected_row,
+            projected_row,
+            option=self.svd_option,
+            max_bond=self.max_bond,
+            backend=self.backend,
+        )
 
     # ------------------------------------------------------------------ #
     # Internals

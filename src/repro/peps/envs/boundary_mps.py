@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.peps.contraction.options import BMPS, ContractOption, Exact
+from repro.peps.contraction.options import BMPS, ContractOption, CTMOption, Exact
 from repro.peps.envs.boundary import BoundaryEnvironment
 
 
@@ -39,12 +39,17 @@ def make_environment(peps, contract_option: Optional[ContractOption] = None):
     :class:`~repro.peps.envs.exact.EnvExact`; any
     :class:`~repro.peps.contraction.options.BMPS` (including
     :class:`~repro.peps.contraction.options.TwoLayerBMPS`) gives an
-    :class:`EnvBoundaryMPS` — boundary sandwiches are inherently two-layer.
+    :class:`EnvBoundaryMPS` — boundary sandwiches are inherently two-layer —
+    and a :class:`~repro.peps.contraction.options.CTMOption` gives an
+    :class:`~repro.peps.envs.ctm.EnvCTM`.
     """
+    from repro.peps.envs.ctm import EnvCTM
     from repro.peps.envs.exact import EnvExact
 
     if contract_option is None or isinstance(contract_option, Exact):
         return EnvExact(peps)
+    if isinstance(contract_option, CTMOption):
+        return EnvCTM(peps, contract_option)
     if isinstance(contract_option, BMPS):
         return EnvBoundaryMPS(peps, contract_option)
     raise TypeError(

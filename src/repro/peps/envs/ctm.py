@@ -1,0 +1,338 @@
+"""Corner-transfer-matrix (CTM) environments of a finite PEPS.
+
+:class:`EnvCTM` is the third implementation of the
+:class:`~repro.peps.envs.base.Environment` protocol, next to
+:class:`~repro.peps.envs.exact.EnvExact` and
+:class:`~repro.peps.envs.boundary_mps.EnvBoundaryMPS`.  Like them it caches
+directional boundaries of the ``<psi|psi>`` sandwich keyed by row, but the
+boundaries are renormalized CTM-style instead of zip-up-style:
+
+* A **move** absorbs one lattice row into an edge-tensor boundary exactly
+  (horizontal bonds multiply) and then renormalizes every internal bond back
+  to the environment bond ``chi`` with a pair of oblique projectors.
+* The projectors at a bond are built from the two **corner transfer
+  matrices** meeting there: the Gram matrices ``C_L = <half|half>`` of the
+  boundary columns left of the bond and ``C_R`` of the columns right of it —
+  the corner matrices of the doubled (reflection-symmetrized) half-system.
+  With ``C_L = A_L^dagger A_L`` and ``C_R = A_R A_R^dagger``, the truncated
+  SVD ``A_L A_R ~= U S V^dagger`` (``repro.linalg.truncated_svd``) gives the
+  projector pair ``P_in = A_R V S^(-1/2)``, ``P_out = S^(-1/2) U^dagger A_L``
+  with ``P_out P_in = 1`` — the standard corner-spectrum truncation.
+* The retained, normalized singular values ``S`` are the **corner spectrum**
+  of that bond.  Every move records its spectra, and :meth:`EnvCTM.build`
+  iterates sweeps of stale moves until no spectrum shifts by more than the
+  option's ``tol`` — the convergence criterion of the CTM power iteration.
+  On a finite lattice the moves are deterministic, so a cold build converges
+  right after its first sweep; the criterion earns its keep after
+  *incremental invalidation*, where only the moves whose absorbed rows went
+  stale are re-converged.
+
+The cached boundaries share the edge-tensor layout of
+:class:`~repro.peps.envs.boundary.BoundaryEnvironment` (one
+``(left, ket, bra, right)`` tensor per column), so all cached queries —
+norm, batched measurements, strip expectation values and conditional
+sampling — run unchanged on CTM-renormalized environments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.linalg.truncated_svd import truncated_svd
+from repro.peps.contraction.options import ContractOption, CTMOption
+from repro.peps.contraction.stats import count_ctm_move
+from repro.peps.contraction.two_layer import absorb_sandwich_row
+from repro.peps.envs.boundary import BoundaryEnvironment
+
+#: Relative floor under which corner-Gram singular directions are treated as
+#: numerically zero when forming ``S^(-1/2)`` (pseudo-inverse regularization).
+PSEUDO_INVERSE_RTOL = 1e-14
+
+
+# --------------------------------------------------------------------- #
+# Corner Gram matrices and projector pairs
+# --------------------------------------------------------------------- #
+def corner_grams(backend, boundary: Sequence) -> Tuple[List, List]:
+    """The corner Gram matrices at every internal bond of a boundary row.
+
+    For the bond between columns ``b-1`` and ``b`` (``b = 1..ncol-1``):
+
+    * ``lefts[b]`` — Gram matrix ``<left half|left half>`` of columns
+      ``0..b-1``, legs ``(bond, bond*)``: the left corner transfer matrix of
+      the doubled half-system,
+    * ``rights[b]`` — the same for columns ``b..ncol-1``: the right corner.
+
+    Index 0 of both lists is unused (there is no bond left of column 0).
+    """
+    ncol = len(boundary)
+    conj = [backend.conj(t) for t in boundary]
+    lefts: List = [None] * ncol
+    rights: List = [None] * ncol
+    if ncol < 2:
+        return lefts, rights
+    gram = backend.einsum("aqpr,aqps->rs", boundary[0], conj[0])
+    lefts[1] = gram
+    for c in range(1, ncol - 1):
+        gram = backend.einsum("ab,aqpr,bqps->rs", gram, boundary[c], conj[c])
+        lefts[c + 1] = gram
+    gram = backend.einsum("aqpr,bqpr->ab", boundary[ncol - 1], conj[ncol - 1])
+    rights[ncol - 1] = gram
+    for c in range(ncol - 2, 0, -1):
+        gram = backend.einsum("aqpr,bqps,rs->ab", boundary[c], conj[c], gram)
+        rights[c] = gram
+    return lefts, rights
+
+
+def _gram_half(gram: np.ndarray) -> np.ndarray:
+    """A half factor ``A`` with ``A^dagger A = gram`` (Hermitian PSD input).
+
+    Returned with legs ``(internal, bond)``; negative eigenvalues from
+    round-off are clipped to zero.
+    """
+    hermitized = (gram + gram.conj().T) / 2.0
+    eigenvalues, eigenvectors = np.linalg.eigh(hermitized)
+    eigenvalues = np.clip(eigenvalues, 0.0, None)
+    return np.sqrt(eigenvalues)[:, None] * eigenvectors.conj().T
+
+
+def bond_projectors(
+    backend,
+    left_gram,
+    right_gram,
+    chi: Optional[int],
+    cutoff: Optional[float],
+) -> Tuple[Optional[Tuple[np.ndarray, np.ndarray]], np.ndarray]:
+    """Oblique projector pair and corner spectrum for one boundary bond.
+
+    Returns ``((absorb_left, absorb_right), spectrum)`` where
+    ``absorb_left`` (``(chi, bond)``) contracts into the left leg of the
+    tensor right of the bond and ``absorb_right`` (``(bond, chi)``) into the
+    right leg of the tensor left of it, with
+    ``absorb_left @ absorb_right = 1``.  The projector pair is ``None`` when
+    no truncation is needed (the bond already satisfies ``chi``/``cutoff``),
+    so exact bonds stay bitwise untouched.  ``spectrum`` is the normalized
+    retained corner spectrum.
+    """
+    left = np.asarray(backend.asarray(left_gram))
+    right = np.asarray(backend.asarray(right_gram))
+    half_left = _gram_half(left)                 # (alpha, bond)
+    half_right = _gram_half(right).conj().T      # (bond, beta)
+    product = half_left @ half_right
+    result = truncated_svd(
+        backend, backend.astensor(product), rank=chi, cutoff=cutoff, absorb="none"
+    )
+    s = np.asarray(result.s, dtype=float)
+    total = float(np.linalg.norm(s))
+    spectrum = s / total if total > 0.0 else s
+    bond_dim = product.shape[0]
+    if result.rank >= bond_dim:
+        return None, spectrum
+    u = np.asarray(backend.asarray(result.u))    # (alpha, k)
+    vh = np.asarray(backend.asarray(result.vh))  # (k, beta)
+    inv_sqrt = np.zeros_like(s)
+    significant = s > (s[0] * PSEUDO_INVERSE_RTOL if s.size else 0.0)
+    inv_sqrt[significant] = 1.0 / np.sqrt(s[significant])
+    absorb_right = half_right @ vh.conj().T * inv_sqrt[None, :]   # (bond, k)
+    absorb_left = inv_sqrt[:, None] * (u.conj().T @ half_left)    # (k, bond)
+    return (absorb_left, absorb_right), spectrum
+
+
+def ctm_renormalize(
+    backend,
+    boundary: Sequence,
+    chi: Optional[int],
+    cutoff: Optional[float],
+) -> Tuple[List, List[np.ndarray]]:
+    """Renormalize every internal bond of a boundary row with corner projectors.
+
+    All projectors are computed from the *unrenormalized* boundary first and
+    applied afterwards, so each bond's truncation sees the exact corner Gram
+    matrices.  Returns the renormalized boundary and the list of normalized
+    corner spectra (one per internal bond, left to right).
+    """
+    ncol = len(boundary)
+    if ncol < 2:
+        return list(boundary), []
+    lefts, rights = corner_grams(backend, boundary)
+    pairs: List = [None] * ncol
+    spectra: List[np.ndarray] = []
+    for b in range(1, ncol):
+        pair, spectrum = bond_projectors(backend, lefts[b], rights[b], chi, cutoff)
+        pairs[b] = pair
+        spectra.append(spectrum)
+    renormalized: List = []
+    for c in range(ncol):
+        tensor = boundary[c]
+        if pairs[c] is not None:
+            absorb_left = backend.astensor(pairs[c][0])
+            tensor = backend.einsum("kl,lqpr->kqpr", absorb_left, tensor)
+        if c + 1 < ncol and pairs[c + 1] is not None:
+            absorb_right = backend.astensor(pairs[c + 1][1])
+            tensor = backend.einsum("aqpl,lk->aqpk", tensor, absorb_right)
+        renormalized.append(tensor)
+    return renormalized, spectra
+
+
+def spectra_distance(
+    previous: Optional[List[np.ndarray]], current: List[np.ndarray]
+) -> float:
+    """Infinity-norm distance between two corner-spectrum sets of one move.
+
+    ``inf`` when the move has no previous spectra (a fresh move); spectra of
+    different retained ranks are compared zero-padded to a common length.
+    """
+    if previous is None:
+        return float("inf")
+    if len(previous) != len(current):
+        return float("inf")
+    distance = 0.0
+    for old, new in zip(previous, current):
+        length = max(len(old), len(new))
+        if length == 0:
+            continue
+        padded_old = np.zeros(length)
+        padded_old[: len(old)] = old
+        padded_new = np.zeros(length)
+        padded_new[: len(new)] = new
+        distance = max(distance, float(np.max(np.abs(padded_old - padded_new))))
+    return distance
+
+
+# --------------------------------------------------------------------- #
+# The environment
+# --------------------------------------------------------------------- #
+class EnvCTM(BoundaryEnvironment):
+    """Corner-transfer-matrix environment of one PEPS.
+
+    Parameters
+    ----------
+    peps:
+        The :class:`~repro.peps.peps.PEPS` state the environment tracks.
+    contract_option:
+        A :class:`~repro.peps.contraction.options.CTMOption`; its ``chi`` is
+        the environment bond the corner projectors truncate to (``None``
+        never truncates) and ``tol``/``max_sweeps`` steer the convergence
+        sweeps of :meth:`build`.
+
+    Every directional move is counted in ``stats.ctm_moves`` (and, for
+    cross-implementation comparisons, also in ``stats.row_absorptions``).
+    The per-move corner spectra live in :attr:`upper_spectra` /
+    :attr:`lower_spectra` keyed by boundary level and are serialized with
+    the environment, so checkpoints resume with converged CTM state.
+    """
+
+    def __init__(self, peps, contract_option: Optional[ContractOption] = None) -> None:
+        option = contract_option if contract_option is not None else CTMOption()
+        if not isinstance(option, CTMOption):
+            raise TypeError(
+                f"EnvCTM needs a CTMOption contraction option, "
+                f"got {type(option).__name__}"
+            )
+        if option.chi is not None and option.chi < 1:
+            raise ValueError(f"chi must be positive, got {option.chi}")
+        super().__init__(peps, svd_option=None, max_bond=None)
+        self.contract_option = option
+        self.chi = option.chi
+        self.cutoff = option.cutoff
+        self.signature = ("ctm", option.chi, option.cutoff)
+        #: normalized corner spectra per boundary level (level -> per-bond list)
+        self.upper_spectra: Dict[int, List[np.ndarray]] = {}
+        self.lower_spectra: Dict[int, List[np.ndarray]] = {}
+        #: outcome of the last :meth:`build` convergence loop
+        self.converged = False
+        self.n_sweeps = 0
+        self.last_spectra_delta = float("inf")
+        self._sweep_deltas: List[float] = []
+
+    # ------------------------------------------------------------------ #
+    # Moves
+    # ------------------------------------------------------------------ #
+    def _absorbs_exactly(self) -> bool:
+        return self.chi is None and self.cutoff is None
+
+    def _absorb(self, boundary, row: int, from_below: bool = False):
+        """One CTM move: exact row absorption plus corner-projector renormalization."""
+        self.stats.row_absorptions += 1
+        self.stats.ctm_moves += 1
+        count_ctm_move()
+        grown = absorb_sandwich_row(
+            boundary,
+            self.peps.grid[row],
+            self.peps.grid[row],
+            option=None,
+            backend=self.backend,
+            from_below=from_below,
+        )
+        if self._absorbs_exactly():
+            renormalized, spectra = grown, []
+        else:
+            renormalized, spectra = ctm_renormalize(
+                self.backend, grown, self.chi, self.cutoff
+            )
+        if from_below:
+            self._record_spectra(self.lower_spectra, row - 1, spectra)
+        else:
+            self._record_spectra(self.upper_spectra, row + 1, spectra)
+        return renormalized
+
+    def _record_spectra(
+        self, store: Dict[int, List[np.ndarray]], level: int, spectra: List[np.ndarray]
+    ) -> None:
+        self._sweep_deltas.append(spectra_distance(store.get(level), spectra))
+        store[level] = spectra
+
+    def absorb_for_sampling(self, upper, projected_row):
+        """Absorb one basis-projected row CTM-style into a per-shot boundary."""
+        self.stats.row_absorptions += 1
+        self.stats.ctm_moves += 1
+        count_ctm_move()
+        grown = absorb_sandwich_row(
+            upper,
+            projected_row,
+            projected_row,
+            option=None,
+            backend=self.backend,
+        )
+        if self._absorbs_exactly():
+            return grown
+        renormalized, _ = ctm_renormalize(self.backend, grown, self.chi, self.cutoff)
+        return renormalized
+
+    # ------------------------------------------------------------------ #
+    # Convergence
+    # ------------------------------------------------------------------ #
+    def build(self) -> "EnvCTM":
+        """Converge the CTM power iteration over all stale moves.
+
+        Sweeps re-run every stale directional move (and only those — warm
+        levels are reused) until no move shifts its normalized corner
+        spectra by more than the option's ``tol``, or ``max_sweeps`` is
+        reached.  On a finite lattice a sweep that performed no moves has
+        already converged, so the loop terminates one check after the last
+        stale move ran.
+        """
+        option = self.contract_option
+        self.converged = False
+        self.n_sweeps = 0
+        for _ in range(max(1, int(option.max_sweeps))):
+            self._sweep_deltas = []
+            self.ensure_upper(self.nrow)
+            self.ensure_lower(0)
+            self.n_sweeps += 1
+            self.last_spectra_delta = max(self._sweep_deltas, default=0.0)
+            if self.last_spectra_delta <= option.tol:
+                self.converged = True
+                break
+        return self
+
+    def corner_spectrum(self, level: int, lower: bool = False) -> List[np.ndarray]:
+        """The recorded corner spectra of one boundary level (diagnostics)."""
+        store = self.lower_spectra if lower else self.upper_spectra
+        if level not in store:
+            raise KeyError(f"no corner spectra recorded for level {level}")
+        return store[level]
+
+    def __repr__(self) -> str:
+        return f"EnvCTM({self.peps!r}, {self.contract_option.describe()})"

@@ -22,7 +22,7 @@ from typing import List
 
 import numpy as np
 
-from repro.peps.contraction.two_layer import absorb_sandwich_row, trivial_boundary
+from repro.peps.contraction.two_layer import trivial_boundary
 from repro.peps.envs.strip import (
     site_density,
     transfer_left_projected,
@@ -91,15 +91,7 @@ def sample_bitstrings(env, rng: "SeedLike" = None, nshots: int = 1) -> np.ndarra
                 left = transfer_left_projected(b, left, upper[c], proj, b.conj(proj), lower[c])
 
             # Absorb the projected row (physical dimension 1) into the running
-            # per-shot upper boundary.
+            # per-shot upper boundary, with the environment's own truncation.
             proj_row = [b.reshape(t, (1,) + tuple(b.shape(t))) for t in projected]
-            env.stats.row_absorptions += 1
-            upper = absorb_sandwich_row(
-                upper,
-                proj_row,
-                proj_row,
-                option=env.svd_option,
-                max_bond=env.max_bond,
-                backend=b,
-            )
+            upper = env.absorb_for_sampling(upper, proj_row)
     return shots

@@ -24,7 +24,13 @@ from repro.backends.interface import Backend
 from repro.circuits.circuit import Circuit, Gate
 from repro.operators.hamiltonians import Hamiltonian
 from repro.operators.observable import Observable
-from repro.peps.contraction.options import BMPS, ContractOption, Exact, TwoLayerBMPS
+from repro.peps.contraction.options import (
+    BMPS,
+    ContractOption,
+    CTMOption,
+    Exact,
+    TwoLayerBMPS,
+)
 from repro.peps.contraction.single_layer import contract_single_layer
 from repro.peps.contraction.two_layer import (
     contract_inner_fused,
@@ -142,7 +148,8 @@ class PEPS:
         boundary sweeps and is invalidated incrementally (only the touched
         rows) by the operator-application paths.  Either pass a
         ``contract_option`` (``None``/``Exact`` for an exact environment, a
-        ``BMPS`` option for a truncated boundary MPS) or a prebuilt
+        ``BMPS`` option for a truncated boundary MPS, a ``CTMOption`` for a
+        corner-transfer-matrix environment) or a prebuilt
         :class:`~repro.peps.envs.base.Environment` for this state.
         """
         from repro.peps.envs import make_environment
@@ -387,6 +394,15 @@ class PEPS:
         if other is self and self._env is not None and contract_option is None:
             return self._env.norm_sq()
         option = contract_option if contract_option is not None else TwoLayerBMPS()
+        if isinstance(option, CTMOption):
+            # CTM is an environment scheme of the <psi|psi> sandwich; serve
+            # the self inner product from a (possibly ephemeral) environment.
+            if other is not self:
+                raise TypeError(
+                    "CTM contraction only serves <psi|psi> inner products; "
+                    "use a BMPS/Exact option for cross overlaps"
+                )
+            return self._environment_for(option).norm_sq()
         if isinstance(option, TwoLayerBMPS):
             return contract_inner_two_layer(self.grid, other.grid, option, self.backend)
         return contract_inner_fused(self.grid, other.grid, option, self.backend)

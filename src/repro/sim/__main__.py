@@ -11,11 +11,17 @@ checkpoint; ``--stop-after N`` interrupts after N steps of this session
     python -m repro.sim spec.json --results out.jsonl --stop-after 2   # "crash"
     python -m repro.sim spec.json --results out.jsonl --resume
     cmp ref.jsonl out.jsonl
+
+SIGTERM and SIGINT are handled gracefully: the step in flight finishes, one
+checkpoint is written (even off the ``checkpoint_every`` schedule) and the
+process exits with the distinct code 4 ("interrupted, checkpoint written"),
+so preemptible jobs checkpoint on eviction rather than on schedule only.
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 from typing import Optional, Sequence
 
@@ -24,6 +30,14 @@ from repro.sim.spec import RunSpec
 
 #: Exit code reported when ``--stop-after`` interrupted the run.
 EXIT_INTERRUPTED = 3
+
+#: Exit code reported when a termination signal interrupted the run after a
+#: checkpoint was written (distinct from --stop-after so schedulers can tell
+#: "evicted but resumable" from a test crash).
+EXIT_SIGNALED = 4
+
+#: Signals that trigger checkpoint-and-exit (SIGINT covers Ctrl-C).
+_HANDLED_SIGNALS = (signal.SIGTERM, signal.SIGINT)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -85,14 +99,45 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         mode = "resuming" if args.resume else "starting"
         print(f"{mode} run {spec.name!r}: workload={spec.workload} "
               f"lattice={spec.nrow}x{spec.ncol} seed={spec.seed}", flush=True)
-    result = simulation.run(
-        resume=args.resume, stop_after=args.stop_after, progress=progress
-    )
+
+    received = []
+
+    def handle_signal(signum, frame):
+        # Only set a flag: the run loop finishes the step in flight, writes
+        # a checkpoint and returns.  A second signal falls through to the
+        # previous (default) handler and kills the process immediately.
+        received.append(signum)
+        simulation.request_stop()
+        for sig, previous_handler in previous.items():
+            signal.signal(sig, previous_handler)
+
+    previous = {}
+    for sig in _HANDLED_SIGNALS:
+        try:
+            previous[sig] = signal.signal(sig, handle_signal)
+        except (ValueError, OSError):
+            pass  # not the main thread / unsupported platform: run unguarded
+    try:
+        result = simulation.run(
+            resume=args.resume, stop_after=args.stop_after, progress=progress
+        )
+    finally:
+        for sig, previous_handler in previous.items():
+            if signal.getsignal(sig) is handle_signal:
+                signal.signal(sig, previous_handler)
+
+    signaled = result.stop_reason == "stop_requested" and received
     if not args.quiet:
-        status = "interrupted" if result.interrupted else "completed"
+        if signaled:
+            name = signal.Signals(received[0]).name
+            status = f"interrupted by {name}"
+        else:
+            status = "interrupted" if result.interrupted else "completed"
         print(f"run {spec.name!r} {status} at step {result.final_step}"
               + (f" (checkpoint: {result.checkpoint_path})"
                  if result.checkpoint_path else ""), flush=True)
+    if signaled:
+        return EXIT_SIGNALED
     return EXIT_INTERRUPTED if result.interrupted else 0
 
 

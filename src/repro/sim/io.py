@@ -45,9 +45,9 @@ class SerializationError(ValueError):
 # --------------------------------------------------------------------- #
 # Tensors
 # --------------------------------------------------------------------- #
-def encode_tensor(backend: Backend, tensor) -> Dict[str, Any]:
-    """Lossless JSON encoding of one backend tensor (base64 of raw bytes)."""
-    array = np.ascontiguousarray(np.asarray(backend.asarray(tensor)))
+def _encode_array(array: np.ndarray) -> Dict[str, Any]:
+    """Lossless JSON encoding of a plain NumPy array (base64 of raw bytes)."""
+    array = np.ascontiguousarray(array)
     return {
         "dtype": array.dtype.str,
         "shape": list(array.shape),
@@ -55,12 +55,20 @@ def encode_tensor(backend: Backend, tensor) -> Dict[str, Any]:
     }
 
 
-def decode_tensor(backend: Backend, payload: Dict[str, Any]):
-    """Rebuild a backend tensor from :func:`encode_tensor` output."""
+def _decode_array(payload: Dict[str, Any]) -> np.ndarray:
     raw = base64.b64decode(payload["data"])
     array = np.frombuffer(raw, dtype=np.dtype(payload["dtype"]))
-    array = array.reshape([int(d) for d in payload["shape"]]).copy()
-    return backend.astensor(array)
+    return array.reshape([int(d) for d in payload["shape"]]).copy()
+
+
+def encode_tensor(backend: Backend, tensor) -> Dict[str, Any]:
+    """Lossless JSON encoding of one backend tensor (base64 of raw bytes)."""
+    return _encode_array(np.asarray(backend.asarray(tensor)))
+
+
+def decode_tensor(backend: Backend, payload: Dict[str, Any]):
+    """Rebuild a backend tensor from :func:`encode_tensor` output."""
+    return backend.astensor(_decode_array(payload))
 
 
 # --------------------------------------------------------------------- #
@@ -123,13 +131,21 @@ def svd_option_from_dict(payload: Optional[Dict[str, Any]]):
 
 
 def contract_option_to_dict(option) -> Optional[Dict[str, Any]]:
-    """Serialize a contraction option (``Exact``/``BMPS``/``TwoLayerBMPS``)."""
-    from repro.peps.contraction.options import BMPS, Exact, TwoLayerBMPS
+    """Serialize a contraction option (``Exact``/``BMPS``/``TwoLayerBMPS``/``CTMOption``)."""
+    from repro.peps.contraction.options import BMPS, CTMOption, Exact, TwoLayerBMPS
 
     if option is None:
         return None
     if isinstance(option, Exact):
         return {"kind": "exact"}
+    if isinstance(option, CTMOption):
+        return {
+            "kind": "ctm",
+            "chi": option.chi,
+            "cutoff": option.cutoff,
+            "tol": option.tol,
+            "max_sweeps": option.max_sweeps,
+        }
     if isinstance(option, TwoLayerBMPS):
         kind = "two_layer_bmps"
     elif isinstance(option, BMPS):
@@ -144,13 +160,20 @@ def contract_option_to_dict(option) -> Optional[Dict[str, Any]]:
 
 
 def contract_option_from_dict(payload: Optional[Dict[str, Any]]):
-    from repro.peps.contraction.options import BMPS, Exact, TwoLayerBMPS
+    from repro.peps.contraction.options import BMPS, CTMOption, Exact, TwoLayerBMPS
 
     if payload is None:
         return None
     kind = payload["kind"]
     if kind == "exact":
         return Exact()
+    if kind == "ctm":
+        return CTMOption(
+            chi=payload.get("chi"),
+            cutoff=payload.get("cutoff"),
+            tol=payload.get("tol", 1e-10),
+            max_sweeps=payload.get("max_sweeps", 4),
+        )
     if kind in ("bmps", "two_layer_bmps"):
         cls = TwoLayerBMPS if kind == "two_layer_bmps" else BMPS
         return cls(
@@ -243,23 +266,58 @@ def mps_from_dict(payload: Dict[str, Any], backend: Union[str, Backend, None] = 
 # --------------------------------------------------------------------- #
 # PEPS and attached environments
 # --------------------------------------------------------------------- #
+def _ctm_state_to_dict(env) -> Dict[str, Any]:
+    """The CTM-specific warm state: per-level corner spectra and convergence."""
+    return {
+        "upper_spectra": {
+            str(level): [_encode_array(np.asarray(s)) for s in spectra]
+            for level, spectra in env.upper_spectra.items()
+        },
+        "lower_spectra": {
+            str(level): [_encode_array(np.asarray(s)) for s in spectra]
+            for level, spectra in env.lower_spectra.items()
+        },
+        "converged": bool(env.converged),
+        "n_sweeps": int(env.n_sweeps),
+    }
+
+
+def _restore_ctm_state(env, payload: Dict[str, Any]) -> None:
+    env.upper_spectra = {
+        int(level): [_decode_array(s) for s in spectra]
+        for level, spectra in payload.get("upper_spectra", {}).items()
+    }
+    env.lower_spectra = {
+        int(level): [_decode_array(s) for s in spectra]
+        for level, spectra in payload.get("lower_spectra", {}).items()
+    }
+    env.converged = bool(payload.get("converged", False))
+    env.n_sweeps = int(payload.get("n_sweeps", 0))
+
+
 def environment_to_dict(env) -> Dict[str, Any]:
     """Serialize a boundary environment: its defining option plus warm caches.
 
     The cached upper/lower boundaries are stored so that a restored
     environment resumes with the same warm state (no recontraction on the
     first query); the validity counters make partially built caches
-    round-trip too.
+    round-trip too.  A CTM environment additionally stores its converged
+    corner spectra per boundary level.
     """
     from repro.peps.envs.boundary import BoundaryEnvironment
     from repro.peps.envs.boundary_mps import EnvBoundaryMPS
+    from repro.peps.envs.ctm import EnvCTM
     from repro.peps.envs.exact import EnvExact
 
     if not isinstance(env, BoundaryEnvironment):
         raise SerializationError(f"unsupported environment type {type(env).__name__}")
     backend = env.backend
+    ctm_state = None
     if isinstance(env, EnvExact):
         option_payload: Dict[str, Any] = {"kind": "exact"}
+    elif isinstance(env, EnvCTM):
+        option_payload = contract_option_to_dict(env.contract_option)
+        ctm_state = _ctm_state_to_dict(env)
     elif isinstance(env, EnvBoundaryMPS):
         option_payload = contract_option_to_dict(env.contract_option)
     else:
@@ -268,7 +326,7 @@ def environment_to_dict(env) -> Dict[str, Any]:
             "svd": svd_option_to_dict(env.svd_option),
             "truncate_bond": env.max_bond,
         }
-    return {
+    payload = {
         "format_version": FORMAT_VERSION,
         "type": "Environment",
         "contract_option": option_payload,
@@ -283,10 +341,15 @@ def environment_to_dict(env) -> Dict[str, Any]:
             for i in range(env._lower_valid, env.nrow - 1)
         ],
     }
+    if ctm_state is not None:
+        payload["ctm_state"] = ctm_state
+    return payload
 
 
 def attach_environment_from_dict(peps, payload: Dict[str, Any]):
     """Attach the serialized environment to ``peps`` and restore its caches."""
+    from repro.peps.envs.ctm import EnvCTM
+
     _check_payload(payload, "Environment")
     option = contract_option_from_dict(payload["contract_option"])
     env = peps.attach_environment(option)
@@ -299,6 +362,8 @@ def attach_environment_from_dict(peps, payload: Dict[str, Any]):
         env._lower[lower_valid + offset] = [decode_tensor(backend, t) for t in boundary]
     env._upper_valid = upper_valid
     env._lower_valid = lower_valid
+    if isinstance(env, EnvCTM) and payload.get("ctm_state") is not None:
+        _restore_ctm_state(env, payload["ctm_state"])
     return env
 
 

@@ -52,6 +52,10 @@ class SimulationResult:
     interrupted: bool = False
     checkpoint_path: Optional[str] = None
     summary: Dict[str, Any] = field(default_factory=dict)
+    #: why the run stopped early: ``None`` (ran to completion),
+    #: ``"stop_after"`` (the testing knob) or ``"stop_requested"`` (an
+    #: external stop request, e.g. a SIGTERM/SIGINT handler).
+    stop_reason: Optional[str] = None
 
     @property
     def energies(self) -> List[float]:
@@ -92,6 +96,21 @@ class Simulation:
         self.workload: Workload = build_workload(self.spec)
         self.sink = sink if sink is not None else make_sink(self.spec.results)
         self._hooks: Dict[str, MeasurementHook] = {}
+        self._stop_requested = False
+
+    # ------------------------------------------------------------------ #
+    # External stop requests (preemption / signal handling)
+    # ------------------------------------------------------------------ #
+    def request_stop(self) -> None:
+        """Ask the run loop to checkpoint and stop after the current step.
+
+        Safe to call from a signal handler: it only sets a flag.  The loop
+        finishes the step in flight, writes one checkpoint (regardless of the
+        ``checkpoint_every`` schedule, so a preempted run can always resume)
+        and returns with ``interrupted=True`` and
+        ``stop_reason="stop_requested"``.
+        """
+        self._stop_requested = True
 
     # ------------------------------------------------------------------ #
     # Measurement hooks
@@ -177,6 +196,10 @@ class Simulation:
             Called with every step record as it is produced.
         """
         spec = self.spec
+        # Reset before setup, not after: a stop request (e.g. SIGTERM) that
+        # arrives while the workload builds its state must survive into the
+        # loop so the run still checkpoints-and-exits after one step.
+        self._stop_requested = False
         self.workload.setup()
         start_step = 0
         prior_records: List[Dict[str, Any]] = []
@@ -186,10 +209,12 @@ class Simulation:
             self.workload.restore_state(payload["workload_state"])
             start_step = int(payload["step"])
             prior_records = list(payload["records"])
-        elif spec.checkpoint_every:
+        else:
             # A fresh run supersedes any previous session's checkpoints:
             # left in place they would shadow the new ones in step-sorted
-            # pruning and could be resumed by mistake.
+            # pruning and could be resumed by mistake.  This holds even with
+            # checkpoint_every=0, because an external stop request writes an
+            # off-schedule checkpoint.
             sim_io.clear_checkpoints(spec.checkpoint_dir, spec.name)
 
         self.sink.open(prior_records)
@@ -197,6 +222,7 @@ class Simulation:
         n_steps = self.workload.total_steps()
         checkpoint_path: Optional[str] = resumed_from
         interrupted = False
+        stop_reason: Optional[str] = None
         steps_this_session = 0
         step = start_step
 
@@ -213,17 +239,25 @@ class Simulation:
                     self.sink.write(record)
                     if progress is not None:
                         progress(record)
-                if spec.checkpoint_every and (
+                scheduled_checkpoint = spec.checkpoint_every and (
                     step % spec.checkpoint_every == 0 or step == n_steps
-                ):
+                )
+                if scheduled_checkpoint:
                     checkpoint_path = self._write_checkpoint(step, records)
                 steps_this_session += 1
-                if (
-                    stop_after is not None
-                    and steps_this_session >= stop_after
-                    and step < n_steps
-                ):
+                if step == n_steps:
+                    break
+                if self._stop_requested:
+                    # Preemption (e.g. SIGTERM): persist one off-schedule
+                    # checkpoint so the run can resume exactly here.
+                    if not scheduled_checkpoint:
+                        checkpoint_path = self._write_checkpoint(step, records)
                     interrupted = True
+                    stop_reason = "stop_requested"
+                    break
+                if stop_after is not None and steps_this_session >= stop_after:
+                    interrupted = True
+                    stop_reason = "stop_after"
                     break
         finally:
             self.sink.close()
@@ -236,6 +270,7 @@ class Simulation:
             interrupted=interrupted,
             checkpoint_path=checkpoint_path,
             summary=summary,
+            stop_reason=stop_reason,
         )
 
 

@@ -94,8 +94,9 @@ class RunSpec:
         Two-site update option config (``{"kind": "qr", "rank": r, ...}``)
         or ``None`` for the workload default.
     contraction:
-        Contraction option config (``{"kind": "ibmps", "bond": m, ...}``)
-        or ``None`` for the workload default.
+        Contraction option config (``{"kind": "ibmps", "bond": m, ...}`` or
+        ``{"kind": "ctm", "chi": c}`` for corner-transfer-matrix
+        environments) or ``None`` for the workload default.
     measure_every:
         Fire the measurement hooks every this many steps (the final step is
         always measured).
@@ -243,7 +244,8 @@ def _normalize_contraction(config: Optional[Dict[str, Any]]) -> Optional[Dict[st
 
     Spec files write ``{"kind": "ibmps", "bond": 4, "niter": 1, "seed": 0}``;
     the io layer stores an explicit nested ``svd`` dict.  ``"bmps"`` selects
-    the explicit-SVD flavour, ``"ibmps"`` the implicit randomized SVD.
+    the explicit-SVD flavour, ``"ibmps"`` the implicit randomized SVD, and
+    ``{"kind": "ctm", "chi": 16}`` a corner-transfer-matrix environment.
     """
     if config is None:
         return None
@@ -253,6 +255,17 @@ def _normalize_contraction(config: Optional[Dict[str, Any]]) -> Optional[Dict[st
         if config:
             raise ValueError(f"unknown contraction config keys {sorted(config)}")
         return {"kind": "exact"}
+    if kind == "ctm":
+        out = {
+            "kind": "ctm",
+            "chi": config.pop("chi", None),
+            "cutoff": config.pop("cutoff", None),
+            "tol": config.pop("tol", 1e-10),
+            "max_sweeps": config.pop("max_sweeps", 4),
+        }
+        if config:
+            raise ValueError(f"unknown contraction config keys {sorted(config)}")
+        return out
     io_kinds = {"ibmps": "bmps", "bmps": "bmps",
                 "two_layer_ibmps": "two_layer_bmps", "two_layer_bmps": "two_layer_bmps"}
     if kind not in io_kinds:

@@ -99,6 +99,24 @@ class TestInvalidation:
         with pytest.raises(ValueError):
             env.invalidate([5])
 
+    def test_invalidate_empty_rows_is_noop(self):
+        """An empty row iterable must keep the cache — norm included — warm."""
+        state = peps.random_peps(3, 3, bond_dim=2, seed=27)
+        env = state.attach_environment(Exact())
+        env.build()
+        env.norm_sq()
+        invalidations = env.stats.invalidations
+        norm_evaluations = env.stats.norm_evaluations
+        absorptions = env.stats.row_absorptions
+        env.invalidate([])
+        env.invalidate(iter(()))  # a consumed generator counts as empty too
+        assert env.stats.invalidations == invalidations
+        assert env._norm_sq is not None  # cached norm survived
+        env.norm_sq()
+        env.build()
+        assert env.stats.norm_evaluations == norm_evaluations
+        assert env.stats.row_absorptions == absorptions
+
     def test_setitem_invalidates(self):
         state = peps.random_peps(2, 2, bond_dim=1, seed=23)
         env = state.attach_environment(Exact())
@@ -126,6 +144,23 @@ class TestInvalidation:
         state.normalize_()
         assert env.stats.row_absorptions == before  # no recomputation
         assert env.norm() == pytest.approx(1.0, abs=1e-9)
+
+    def test_normalize_inplace_keeps_truncated_cache_warm(self):
+        """The analytic rescale must also serve truncated environments: zero
+        extra row absorptions, and subsequent queries match a fresh build."""
+        option = BMPS(ExplicitSVD(rank=4))
+        state = peps.random_peps(4, 4, bond_dim=3, seed=28)
+        env = state.attach_environment(option)
+        ham = transverse_field_ising(4, 4)
+        env.expectation(ham)
+        before = env.stats.row_absorptions
+        state.normalize_()
+        assert env.stats.row_absorptions == before  # analytic rescale only
+        assert env.norm() == pytest.approx(1.0, abs=1e-9)
+        value = env.expectation(ham)
+        assert env.stats.row_absorptions == before  # boundaries still valid
+        fresh = make_environment(state, option).expectation(ham)
+        assert value == pytest.approx(fresh, rel=1e-8)
 
     def test_copy_does_not_share_environment(self):
         state = peps.random_peps(2, 2, bond_dim=2, seed=25)

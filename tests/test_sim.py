@@ -19,7 +19,7 @@ from repro import peps
 from repro.mps.mps import MPS
 from repro.operators.hamiltonians import heisenberg_j1j2
 from repro.operators.observable import Observable
-from repro.peps import BMPS, Exact, QRUpdate, TwoLayerBMPS
+from repro.peps import BMPS, CTMOption, Exact, QRUpdate, TwoLayerBMPS
 from repro.sim import (
     RunSpec,
     SerializationError,
@@ -139,6 +139,7 @@ class TestOptionSerialization:
         BMPS(ExplicitSVD(rank=4, cutoff=1e-10)),
         BMPS(ImplicitRandomizedSVD(rank=8, niter=2, oversample=3, seed=5)),
         TwoLayerBMPS(ExplicitSVD(rank=6)),
+        CTMOption(chi=12, cutoff=1e-9, tol=1e-8, max_sweeps=6),
     ])
     def test_contract_round_trip(self, option):
         payload = contract_option_to_dict(option)
@@ -149,6 +150,8 @@ class TestOptionSerialization:
         if isinstance(option, BMPS):
             assert again.truncation_bond == option.truncation_bond
             assert type(again.resolved_svd_option()) is type(option.resolved_svd_option())
+        if isinstance(option, CTMOption):
+            assert again == option
 
     @pytest.mark.parametrize("option", [
         None,
@@ -460,6 +463,96 @@ class TestCLI:
         resumed = cli("--results", str(tmp_path / "out.jsonl"), "--resume")
         assert resumed.returncode == 0, resumed.stderr
         assert (tmp_path / "out.jsonl").read_text() == (tmp_path / "ref.jsonl").read_text()
+
+    @pytest.mark.skipif(os.name == "nt", reason="POSIX signal semantics")
+    def test_cli_sigterm_checkpoints_and_resumes(self, tmp_path):
+        """SIGTERM mid-run must checkpoint-and-exit (code 4) and resume bitwise —
+        even with scheduled checkpointing disabled."""
+        import signal
+
+        spec_path = tmp_path / "spec.json"
+        spec = ite_spec(
+            tmp_path, n_steps=40, checkpoint_every=0, lattice=[3, 3],
+            checkpoint_dir=str(tmp_path / "sig-ckpt"),
+        )
+        spec_path.write_text(spec.to_json())
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        base = [sys.executable, "-m", "repro.sim", str(spec_path)]
+
+        reference = subprocess.run(
+            base + ["--quiet", "--results", str(tmp_path / "ref.jsonl"),
+                    "--checkpoint-dir", str(tmp_path / "ref-ckpt")],
+            env=env, cwd=tmp_path, capture_output=True, text=True,
+        )
+        assert reference.returncode == 0, reference.stderr
+
+        process = subprocess.Popen(
+            base + ["--results", str(tmp_path / "out.jsonl")],
+            env=env, cwd=tmp_path, stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, text=True, bufsize=1,
+        )
+        # Wait until the run is demonstrably mid-flight (first record printed).
+        for line in process.stdout:
+            if line.startswith("step="):
+                break
+        process.send_signal(signal.SIGTERM)
+        process.stdout.read()  # drain until exit
+        assert process.wait(timeout=120) == 4, process.stderr.read()
+        checkpoint = latest_checkpoint(tmp_path / "sig-ckpt", spec.name)
+        assert checkpoint is not None  # written off-schedule by the handler
+
+        resumed = subprocess.run(
+            base + ["--quiet", "--results", str(tmp_path / "out.jsonl"), "--resume"],
+            env=env, cwd=tmp_path, capture_output=True, text=True,
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert (tmp_path / "out.jsonl").read_text() == (tmp_path / "ref.jsonl").read_text()
+
+
+class TestStopRequests:
+    def test_request_stop_checkpoints_off_schedule(self, tmp_path):
+        """request_stop() finishes the step, writes a checkpoint even with
+        checkpoint_every=0, and the run resumes bitwise."""
+        reference = Simulation(
+            ite_spec(tmp_path, checkpoint_every=0, checkpoint_dir=str(tmp_path / "ref"))
+        ).run()
+
+        spec = ite_spec(tmp_path, checkpoint_every=0, checkpoint_dir=str(tmp_path / "ckpt"))
+        simulation = Simulation(spec)
+
+        def stop_at_step_2(sim, step):
+            if step == 2:
+                sim.request_stop()
+            return None
+
+        simulation.add_measurement_hook("stopper", stop_at_step_2)
+        result = simulation.run()
+        assert result.interrupted and result.stop_reason == "stop_requested"
+        assert result.final_step == 2
+        assert result.checkpoint_path is not None
+        assert latest_checkpoint(tmp_path / "ckpt", spec.name) is not None
+
+        resumed = Simulation(ite_spec(
+            tmp_path, checkpoint_every=0, checkpoint_dir=str(tmp_path / "ckpt")
+        )).run(resume=True)
+        assert not resumed.interrupted and resumed.stop_reason is None
+        assert resumed.records == reference.records
+
+    def test_stop_request_on_final_step_completes(self, tmp_path):
+        spec = ite_spec(tmp_path, n_steps=2, checkpoint_every=0)
+        simulation = Simulation(spec)
+        simulation.add_measurement_hook(
+            "late", lambda sim, step: sim.request_stop() if step == 2 else None
+        )
+        result = simulation.run()
+        assert not result.interrupted and result.stop_reason is None
+        assert result.final_step == 2
+
+    def test_stop_after_reports_reason(self, tmp_path):
+        result = Simulation(ite_spec(tmp_path)).run(stop_after=2)
+        assert result.interrupted and result.stop_reason == "stop_after"
 
 
 class TestDeepCopyHelpers:
