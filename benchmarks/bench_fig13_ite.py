@@ -10,18 +10,23 @@ statevector ITE reference (1000 steps).  The reported shapes are:
 * Fig. 13b — the energy after 150 steps improves (decreases) as r grows, and
   m = r is about as accurate as m = r^2 for this model.
 
+The (r, m) grid runs through the declarative sweep subsystem
+(:class:`repro.sim.SweepSpec` with an explicit ``points`` list, since m is a
+function of r), and the per-point wall-time/flop metrics are emitted as
+``BENCH_fig13.json`` (see :func:`benchmarks.conftest.write_bench_json` for
+the format).
+
 The scaled-down default uses a 3x3 lattice, r in {1, 2}, and fewer steps; set
 ``REPRO_SCALE=full`` for the 4x4 / 150-step configuration.
 """
 
 import numpy as np
-import pytest
 
 from repro.operators.hamiltonians import heisenberg_j1j2
-from repro.sim import RunSpec, Simulation
+from repro.sim import Sweep, SweepSpec
 from repro.statevector import StateVector
 
-from benchmarks.conftest import scaled
+from benchmarks.conftest import scaled, write_bench_json
 
 LATTICE = scaled((3, 3), (4, 4))
 N_STEPS = scaled(10, 150)
@@ -32,6 +37,56 @@ SV_STEPS = scaled(200, 1000)
 MODEL = {"kind": "heisenberg_j1j2", "j1": [1.0, 1.0, 1.0],
          "j2": [0.5, 0.5, 0.5], "field": [0.2, 0.2, 0.2]}
 
+#: The Fig. 13 grid: every evolution rank with contraction bond m = r and
+#: m = r^2 (m depends on r, hence explicit sweep points instead of axes).
+PAIRS = [
+    (r, label, m)
+    for r in RANKS
+    for label, m in (("m=r", r), ("m=r^2", max(r * r, 2)))
+]
+
+
+def _fig13_sweep(nrow, ncol, n_steps, sweep_dir):
+    """The Fig. 13 (r, m) grid as one declarative SweepSpec."""
+    return SweepSpec.from_dict({
+        "name": "fig13",
+        "base": {
+            "workload": "ite",
+            "lattice": [nrow, ncol],
+            "n_steps": n_steps,
+            "model": MODEL,
+            "algorithm": {"tau": TAU},
+            "update": {"kind": "qr", "rank": 1},
+            "contraction": {"kind": "ibmps", "bond": 2, "niter": 1, "seed": 0},
+            "measure_every": max(1, n_steps // 5),
+        },
+        "points": [
+            {"update.rank": r, "contraction.bond": m} for r, _, m in PAIRS
+        ],
+        "sweep_dir": str(sweep_dir),
+    })
+
+
+def _run_fig13_grid(benchmark, tmp_path, n_steps):
+    """Execute the grid, return (spec, result, traces keyed by (r, label))."""
+    nrow, ncol = LATTICE
+    spec = _fig13_sweep(nrow, ncol, n_steps, tmp_path / "fig13-sweep")
+
+    def sweep():
+        return Sweep(spec).run(count_flops=True)
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert result.completed, result.statuses
+    traces = {}
+    for (r, label, _), point in zip(PAIRS, spec.expand()):
+        records = result.point_records(point.name)
+        traces[(r, label)] = (
+            [record["step"] for record in records],
+            [record["energy"] for record in records],
+        )
+    write_bench_json("fig13", spec, result)
+    return spec, result, traces
+
 
 def _statevector_reference(ham, n_steps):
     n = ham.n_sites
@@ -40,37 +95,13 @@ def _statevector_reference(ham, n_steps):
     return energies
 
 
-def _run_peps_ite(nrow, ncol, r, m, n_steps):
-    """One Fig. 13 ITE trace via the declarative simulation runner."""
-    spec = RunSpec.from_dict({
-        "name": f"fig13-r{r}-m{m}",
-        "workload": "ite",
-        "lattice": [nrow, ncol],
-        "n_steps": n_steps,
-        "model": MODEL,
-        "algorithm": {"tau": TAU},
-        "update": {"kind": "qr", "rank": r},
-        "contraction": {"kind": "ibmps", "bond": m, "niter": 1, "seed": 0},
-        "measure_every": max(1, n_steps // 5),
-    })
-    return Simulation(spec).run()
-
-
-def test_fig13a_energy_per_step(benchmark, record_rows):
+def test_fig13a_energy_per_step(benchmark, record_rows, tmp_path):
     nrow, ncol = LATTICE
     ham = heisenberg_j1j2(nrow, ncol, j1=(1.0, 1.0, 1.0), j2=(0.5, 0.5, 0.5),
                           field=(0.2, 0.2, 0.2))
     sv_energies = _statevector_reference(ham, N_STEPS)
 
-    def sweep():
-        traces = {}
-        for r in RANKS:
-            for m_label, m in (("m=r", r), ("m=r^2", max(r * r, 2))):
-                result = _run_peps_ite(nrow, ncol, r, m, N_STEPS)
-                traces[(r, m_label)] = (result.measured_steps, result.energies)
-        return traces
-
-    traces = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    _, _, traces = _run_fig13_grid(benchmark, tmp_path, N_STEPS)
     steps = next(iter(traces.values()))[0]
     rows = []
     for i, step in enumerate(steps):
@@ -89,21 +120,21 @@ def test_fig13a_energy_per_step(benchmark, record_rows):
         assert energies[-1] <= energies[0] + 1e-6, key
 
 
-def test_fig13b_energy_vs_bond_dimension(benchmark, record_rows):
+def test_fig13b_energy_vs_bond_dimension(benchmark, record_rows, tmp_path):
     nrow, ncol = LATTICE
     ham = heisenberg_j1j2(nrow, ncol, j1=(1.0, 1.0, 1.0), j2=(0.5, 0.5, 0.5),
                           field=(0.2, 0.2, 0.2))
     sv_energy = _statevector_reference(ham, SV_STEPS)[-1]
 
-    def sweep():
-        rows = []
-        for r in RANKS:
-            final_r = _run_peps_ite(nrow, ncol, r, r, N_STEPS).final_energy
-            final_r2 = _run_peps_ite(nrow, ncol, r, max(r * r, 2), N_STEPS).final_energy
-            rows.append((r, final_r, final_r2, sv_energy))
-        return rows
-
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    _, _, traces = _run_fig13_grid(benchmark, tmp_path, N_STEPS)
+    rows = []
+    for r in RANKS:
+        rows.append((
+            r,
+            traces[(r, "m=r")][1][-1],
+            traces[(r, "m=r^2")][1][-1],
+            sv_energy,
+        ))
     record_rows(
         f"Fig. 13b: ITE energy per site after {N_STEPS} steps vs bond dimension "
         f"({nrow}x{ncol} J1-J2 model)",

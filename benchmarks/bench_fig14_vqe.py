@@ -9,19 +9,22 @@ reproduce is that the reachable energy generally improves with r and
 approaches the statevector result, which itself upper-bounds the exact
 ground-state energy.
 
+The statevector VQE runs first (its optimum seeds every PEPS run); the PEPS
+r-sweep then runs through the declarative sweep subsystem
+(:class:`repro.sim.SweepSpec`, explicit ``points`` since the contraction bond
+is a function of r), and the per-point wall-time/flop metrics are emitted as
+``BENCH_fig14.json`` (see :func:`benchmarks.conftest.write_bench_json`).
+
 The scaled-down default limits the optimizer iterations and the set of bond
 dimensions so the benchmark completes quickly; ``REPRO_SCALE=full`` runs the
 full sweep.
 """
 
-import numpy as np
-import pytest
-
 from repro.algorithms.vqe import VQE
 from repro.operators.hamiltonians import transverse_field_ising
-from repro.sim import RunSpec, Simulation
+from repro.sim import Sweep, SweepSpec
 
-from benchmarks.conftest import scaled
+from benchmarks.conftest import scaled, write_bench_json
 
 LATTICE = scaled((2, 2), (3, 3))
 RANKS = scaled([1, 2], [1, 2, 3, 4])
@@ -31,7 +34,37 @@ N_LAYERS = 1
 MODEL = {"kind": "transverse_field_ising", "jz": -1.0, "hx": -3.5}
 
 
-def test_fig14_vqe_energy_vs_bond_dimension(benchmark, record_rows):
+def _fig14_sweep(nrow, ncol, initial_parameters, sweep_dir):
+    """The PEPS r-sweep: every run refines the statevector optimum.
+
+    Starting every PEPS run from the statevector optimum's neighbourhood
+    isolates the simulation error (not optimizer luck); one runner step
+    carrying the full iteration budget keeps the optimizer's internal state
+    continuous, matching the original single-minimize methodology.
+    """
+    return SweepSpec.from_dict({
+        "name": "fig14",
+        "base": {
+            "workload": "vqe",
+            "lattice": [nrow, ncol],
+            "n_steps": 1,
+            "model": MODEL,
+            "algorithm": {
+                "n_layers": N_LAYERS,
+                "iters_per_step": max(2, MAXITER // 3),
+                "initial_parameters": list(initial_parameters),
+            },
+            "update": {"kind": "qr", "rank": 1},
+            "contraction": {"kind": "bmps", "bond": 2},
+        },
+        "points": [
+            {"update.rank": r, "contraction.bond": max(r * r, 2)} for r in RANKS
+        ],
+        "sweep_dir": str(sweep_dir),
+    })
+
+
+def test_fig14_vqe_energy_vs_bond_dimension(benchmark, record_rows, tmp_path):
     nrow, ncol = LATTICE
     ham = transverse_field_ising(nrow, ncol, jz=-1.0, hx=-3.5)
     exact_per_site = ham.ground_state_energy() / ham.n_sites
@@ -42,29 +75,17 @@ def test_fig14_vqe_energy_vs_bond_dimension(benchmark, record_rows):
         sv_result = sv.run(maxiter=MAXITER, seed=0)
         results["statevector"] = (sv_result.optimal_energy_per_site,
                                   len(sv_result.energy_history))
-        for r in RANKS:
-            # Start every PEPS run from the statevector optimum's neighbourhood
-            # so the comparison isolates the simulation error (not optimizer
-            # luck), then let SLSQP refine.  One runner step carrying the full
-            # iteration budget keeps the optimizer's internal state continuous,
-            # matching the original single-minimize methodology.
-            spec = RunSpec.from_dict({
-                "name": f"fig14-r{r}",
-                "workload": "vqe",
-                "lattice": [nrow, ncol],
-                "n_steps": 1,
-                "model": MODEL,
-                "algorithm": {
-                    "n_layers": N_LAYERS,
-                    "iters_per_step": max(2, MAXITER // 3),
-                    "initial_parameters": sv_result.optimal_parameters.tolist(),
-                },
-                "update": {"kind": "qr", "rank": r},
-                "contraction": {"kind": "bmps", "bond": max(r * r, 2)},
-            })
-            result = Simulation(spec).run()
-            best = min(result.energies)
-            results[f"r={r}"] = (best, result.records[-1]["n_evaluations"])
+        spec = _fig14_sweep(
+            nrow, ncol, sv_result.optimal_parameters.tolist(),
+            tmp_path / "fig14-sweep",
+        )
+        grid = Sweep(spec).run(count_flops=True)
+        assert grid.completed, grid.statuses
+        for r, point in zip(RANKS, spec.expand()):
+            records = grid.point_records(point.name)
+            best = min(record["energy"] for record in records)
+            results[f"r={r}"] = (best, records[-1]["n_evaluations"])
+        write_bench_json("fig14", spec, grid)
         return results
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)

@@ -13,8 +13,33 @@ possible pass.
 Each benchmark prints the rows/series the corresponding figure plots (run
 pytest with ``-s`` to see them) and stores the same numbers in
 ``benchmark.extra_info`` so they survive in the pytest-benchmark JSON.
+
+Sweep-driven benchmarks (Fig. 13/14, via :mod:`repro.sim.sweep`) additionally
+emit a machine-readable perf document ``BENCH_<figure>.json`` into the
+working directory through :func:`write_bench_json`, so the performance
+trajectory of the hot paths is tracked run over run.  The format::
+
+    {
+      "benchmark": "fig13",              # figure key
+      "scale": "default",                # active REPRO_SCALE preset
+      "points": [                        # one entry per sweep point,
+        {                                # in expansion order
+          "name": "0000-rank1-bond1",    # sweep point name
+          "overrides": {"update.rank": 1, "contraction.bond": 1},
+          "wall_time_s": 0.41,           # wall time of the point's run
+          "flops": 1.1e7,                # FlopCounter total (numpy backend)
+          "flops_by_category": {"einsum": ..., "svd": ..., "qr": ...},
+          "row_absorptions": 36,         # boundary-contraction work units
+          "ctm_moves": 0                 # CTM directional moves
+        }, ...
+      ]
+    }
+
+``wall_time_s`` is machine-dependent; ``flops``/``row_absorptions`` are
+algorithmic counts and comparable across machines.
 """
 
+import json
 import os
 
 import pytest
@@ -44,6 +69,34 @@ def _format(value):
     if isinstance(value, float):
         return f"{value:.4g}"
     return str(value)
+
+
+def write_bench_json(figure, sweep_spec, sweep_result, path=None):
+    """Emit the ``BENCH_<figure>.json`` perf document (see module docstring).
+
+    Takes the :class:`~repro.sim.sweep.SweepSpec` that defined the grid and
+    the :class:`~repro.sim.sweep.SweepResult` of a ``count_flops=True`` run;
+    per-point wall time and flop counts come from the sweep's manifest
+    metrics.
+    """
+    points = []
+    for point in sweep_spec.expand():
+        metrics = sweep_result.metrics.get(point.name) or {}
+        points.append({
+            "name": point.name,
+            "overrides": point.overrides,
+            "wall_time_s": metrics.get("wall_time_s"),
+            "flops": metrics.get("flops"),
+            "flops_by_category": metrics.get("flops_by_category"),
+            "row_absorptions": metrics.get("row_absorptions"),
+            "ctm_moves": metrics.get("ctm_moves"),
+        })
+    payload = {"benchmark": figure, "scale": SCALE, "points": points}
+    path = path or f"BENCH_{figure}.json"
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return path
 
 
 @pytest.fixture

@@ -14,7 +14,13 @@ resumable *runs*:
 * :mod:`~repro.sim.io` — versioned ``to_dict``/``from_dict`` serialization
   for MPS, PEPS (with attached environments) and option objects; tensor
   payloads round-trip bitwise so resumed runs replay uninterrupted ones
-  float-for-float.
+  float-for-float,
+* :mod:`~repro.sim.sweep` — parameter sweeps: a
+  :class:`~repro.sim.sweep.SweepSpec` fans one base RunSpec into a named
+  grid of runs (dotted-path override axes, product/zip modes, per-point
+  derived seeds) and the :class:`~repro.sim.sweep.Sweep` driver executes it
+  through a resumable ``multiprocessing`` pool with an atomic manifest and
+  a combined results document.
 
 Quick start::
 
@@ -56,8 +62,23 @@ from repro.sim.io import (
     write_checkpoint,
 )
 from repro.sim.runner import Simulation, SimulationResult, run_spec
-from repro.sim.sinks import JSONLSink, JSONSink, MemorySink, ResultSink, make_sink
-from repro.sim.spec import SPEC_VERSION, RunSpec, register_model
+from repro.sim.sinks import (
+    JSONLSink,
+    JSONSink,
+    MemorySink,
+    ResultSink,
+    SweepSink,
+    make_sink,
+)
+from repro.sim.spec import SPEC_VERSION, RunSpec, apply_spec_override, register_model
+from repro.sim.sweep import (
+    Sweep,
+    SweepPoint,
+    SweepResult,
+    SweepSpec,
+    derive_point_seed,
+    run_sweep,
+)
 from repro.sim.workloads import (
     ITEWorkload,
     RQCAmplitudeWorkload,
@@ -75,6 +96,13 @@ __all__ = [
     "Simulation",
     "SimulationResult",
     "run_spec",
+    "SweepSpec",
+    "Sweep",
+    "SweepPoint",
+    "SweepResult",
+    "run_sweep",
+    "derive_point_seed",
+    "apply_spec_override",
     "Workload",
     "ITEWorkload",
     "VQEWorkload",
@@ -86,6 +114,7 @@ __all__ = [
     "MemorySink",
     "JSONLSink",
     "JSONSink",
+    "SweepSink",
     "make_sink",
     "mps_to_dict",
     "mps_from_dict",

@@ -1,21 +1,37 @@
-"""Command-line entry point: ``python -m repro.sim SPEC.json [options]``.
+"""Command-line entry point: ``python -m repro.sim <command> ...``.
 
-Runs the simulation a JSON :class:`~repro.sim.spec.RunSpec` describes,
-printing one line per step record.  ``--resume`` continues from the newest
-checkpoint; ``--stop-after N`` interrupts after N steps of this session
-(exit code 3), which lets CI exercise the crash/resume path deterministically:
+Two subcommands share the checkpoint/resume contract:
+
+``run SPEC.json [options]``
+    Run the simulation a JSON :class:`~repro.sim.spec.RunSpec` describes,
+    printing one line per step record.  ``--resume`` continues from the
+    newest checkpoint; ``--stop-after N`` interrupts after N steps of this
+    session (exit code 3), which lets CI exercise the crash/resume path
+    deterministically.  The bare form ``python -m repro.sim SPEC.json``
+    (no subcommand) still works and means ``run``.
+
+``sweep SWEEP.json [--jobs N] [--resume] [options]``
+    Expand a :class:`~repro.sim.sweep.SweepSpec` grid and execute it through
+    a worker pool (``--jobs``, default from the spec; 1 = serial).  Per-point
+    statuses live in ``<sweep_dir>/manifest.json``; ``--resume`` skips
+    completed points and resumes interrupted ones from their checkpoints,
+    and ``--stop-after-points K`` interrupts after K points finish (exit
+    code 3).  On completion the per-point streams merge into one combined
+    results document.
 
 .. code-block:: shell
 
-    python -m repro.sim spec.json --results ref.jsonl
-    python -m repro.sim spec.json --results out.jsonl --stop-after 2   # "crash"
-    python -m repro.sim spec.json --results out.jsonl --resume
+    python -m repro.sim run spec.json --results ref.jsonl
+    python -m repro.sim sweep sweep.json --jobs 4
+    python -m repro.sim sweep sweep.json --jobs 4 --resume
     cmp ref.jsonl out.jsonl
 
-SIGTERM and SIGINT are handled gracefully: the step in flight finishes, one
-checkpoint is written (even off the ``checkpoint_every`` schedule) and the
-process exits with the distinct code 4 ("interrupted, checkpoint written"),
-so preemptible jobs checkpoint on eviction rather than on schedule only.
+SIGTERM and SIGINT are handled gracefully in both commands: in-flight steps
+finish, one checkpoint is written per interrupted run (even off the
+``checkpoint_every`` schedule) and the process exits with the distinct code 4
+("interrupted, checkpoint written"), so preemptible jobs checkpoint on
+eviction rather than on schedule only.  Sweeps forward the signal to every
+pool worker so each in-flight point checkpoints too.
 """
 
 from __future__ import annotations
@@ -23,12 +39,14 @@ from __future__ import annotations
 import argparse
 import signal
 import sys
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.sim.runner import Simulation
 from repro.sim.spec import RunSpec
+from repro.sim.sweep import STATUS_FAILED, Sweep, SweepSpec
 
-#: Exit code reported when ``--stop-after`` interrupted the run.
+#: Exit code reported when ``--stop-after`` / ``--stop-after-points``
+#: interrupted the run.
 EXIT_INTERRUPTED = 3
 
 #: Exit code reported when a termination signal interrupted the run after a
@@ -36,17 +54,27 @@ EXIT_INTERRUPTED = 3
 #: "evicted but resumable" from a test crash).
 EXIT_SIGNALED = 4
 
+#: Exit code reported when a sweep completed its dispatch but points failed.
+EXIT_FAILED_POINTS = 1
+
 #: Signals that trigger checkpoint-and-exit (SIGINT covers Ctrl-C).
 _HANDLED_SIGNALS = (signal.SIGTERM, signal.SIGINT)
+
+_COMMANDS = ("run", "sweep")
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.sim",
-        description="Run a simulation described by a JSON RunSpec.",
+        description="Run a simulation (RunSpec) or a parameter sweep (SweepSpec).",
     )
-    parser.add_argument("spec", help="path to the RunSpec JSON file")
-    parser.add_argument(
+    commands = parser.add_subparsers(dest="command", required=True, metavar="COMMAND")
+
+    run = commands.add_parser(
+        "run", help="run one simulation described by a JSON RunSpec"
+    )
+    run.add_argument("spec", help="path to the RunSpec JSON file")
+    run.add_argument(
         "--resume",
         nargs="?",
         const=True,
@@ -54,7 +82,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="CHECKPOINT",
         help="resume from the newest checkpoint (or an explicit checkpoint file)",
     )
-    parser.add_argument(
+    run.add_argument(
         "--stop-after",
         type=int,
         default=None,
@@ -62,20 +90,81 @@ def build_parser() -> argparse.ArgumentParser:
         help="interrupt after N steps of this session (exit code 3); "
         "used to test checkpoint/resume",
     )
-    parser.add_argument("--results", default=None, metavar="PATH",
-                        help="override the spec's results path")
-    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
-                        help="override the spec's checkpoint directory")
-    parser.add_argument("--checkpoint-every", type=int, default=None, metavar="N",
-                        help="override the spec's checkpoint interval")
-    parser.add_argument("--name", default=None, help="override the spec's run name")
-    parser.add_argument("--quiet", action="store_true",
-                        help="suppress per-step record output")
+    run.add_argument("--results", default=None, metavar="PATH",
+                     help="override the spec's results path")
+    run.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                     help="override the spec's checkpoint directory")
+    run.add_argument("--checkpoint-every", type=int, default=None, metavar="N",
+                     help="override the spec's checkpoint interval")
+    run.add_argument("--name", default=None, help="override the spec's run name")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress per-step record output")
+    run.set_defaults(func=_main_run)
+
+    sweep = commands.add_parser(
+        "sweep", help="expand and execute a JSON SweepSpec parameter grid"
+    )
+    sweep.add_argument("spec", help="path to the SweepSpec JSON file")
+    sweep.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker-pool size (default: the spec's jobs; 1 = serial)")
+    sweep.add_argument("--resume", action="store_true",
+                       help="skip completed points and resume interrupted ones")
+    sweep.add_argument(
+        "--stop-after-points",
+        type=int,
+        default=None,
+        metavar="K",
+        help="interrupt after K points finish in this session (exit code 3); "
+        "used to test sweep resume",
+    )
+    sweep.add_argument("--results", default=None, metavar="PATH",
+                       help="override the spec's combined results path")
+    sweep.add_argument("--sweep-dir", default=None, metavar="DIR",
+                       help="override the spec's working directory")
+    sweep.add_argument("--count-flops", action="store_true",
+                       help="record per-point flop counts in the manifest metrics")
+    sweep.add_argument("--quiet", action="store_true",
+                       help="suppress per-point progress output")
+    sweep.set_defaults(func=_main_sweep)
     return parser
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+def _install_stop_handlers(request_stop) -> tuple:
+    """Route the first SIGTERM/SIGINT to ``request_stop``; returns state."""
+    received: List[int] = []
+    previous = {}
+
+    def handle_signal(signum, frame):
+        # Only set flags: the in-flight step finishes, a checkpoint is
+        # written and the loop returns.  A second signal falls through to the
+        # previous (default) handler and kills the process immediately.
+        received.append(signum)
+        request_stop()
+        for sig, previous_handler in previous.items():
+            signal.signal(sig, previous_handler)
+
+    for sig in _HANDLED_SIGNALS:
+        try:
+            previous[sig] = signal.signal(sig, handle_signal)
+        except (ValueError, OSError):
+            pass  # not the main thread / unsupported platform: run unguarded
+    return received, previous, handle_signal
+
+
+def _restore_handlers(previous, handler) -> None:
+    for sig, previous_handler in previous.items():
+        if signal.getsignal(sig) is handler:
+            signal.signal(sig, previous_handler)
+
+
+def _format_record(record) -> str:
+    return " ".join(
+        f"{k}={v:+.10g}" if isinstance(v, float) else f"{k}={v}"
+        for k, v in record.items()
+    )
+
+
+def _main_run(args) -> int:
     spec = RunSpec.from_file(args.spec)
     if args.results is not None:
         spec.results = args.results
@@ -88,11 +177,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     def progress(record):
         if not args.quiet:
-            fields = " ".join(
-                f"{k}={v:+.10g}" if isinstance(v, float) else f"{k}={v}"
-                for k, v in record.items()
-            )
-            print(fields, flush=True)
+            print(_format_record(record), flush=True)
 
     simulation = Simulation(spec)
     if not args.quiet:
@@ -100,31 +185,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"{mode} run {spec.name!r}: workload={spec.workload} "
               f"lattice={spec.nrow}x{spec.ncol} seed={spec.seed}", flush=True)
 
-    received = []
-
-    def handle_signal(signum, frame):
-        # Only set a flag: the run loop finishes the step in flight, writes
-        # a checkpoint and returns.  A second signal falls through to the
-        # previous (default) handler and kills the process immediately.
-        received.append(signum)
-        simulation.request_stop()
-        for sig, previous_handler in previous.items():
-            signal.signal(sig, previous_handler)
-
-    previous = {}
-    for sig in _HANDLED_SIGNALS:
-        try:
-            previous[sig] = signal.signal(sig, handle_signal)
-        except (ValueError, OSError):
-            pass  # not the main thread / unsupported platform: run unguarded
+    received, previous, handler = _install_stop_handlers(simulation.request_stop)
     try:
         result = simulation.run(
             resume=args.resume, stop_after=args.stop_after, progress=progress
         )
     finally:
-        for sig, previous_handler in previous.items():
-            if signal.getsignal(sig) is handle_signal:
-                signal.signal(sig, previous_handler)
+        _restore_handlers(previous, handler)
 
     signaled = result.stop_reason == "stop_requested" and received
     if not args.quiet:
@@ -139,6 +206,84 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if signaled:
         return EXIT_SIGNALED
     return EXIT_INTERRUPTED if result.interrupted else 0
+
+
+def _main_sweep(args) -> int:
+    spec = SweepSpec.from_file(args.spec)
+    if args.results is not None:
+        spec.results = args.results
+    if args.sweep_dir is not None:
+        spec.sweep_dir = args.sweep_dir
+
+    def progress(event):
+        if args.quiet:
+            return
+        if event["event"] == "started":
+            print(f"[{event['point']}] started", flush=True)
+        else:
+            line = f"[{event['point']}] {event['status']}"
+            if event.get("error"):
+                line += f": {event['error']}"
+            print(line, flush=True)
+
+    def record_progress(record):
+        if not args.quiet:
+            point = record.pop("point", "?")
+            print(f"[{point}] {_format_record(record)}", flush=True)
+
+    sweep = Sweep(spec)
+    n_points = len(spec.override_sets())
+    if not args.quiet:
+        mode = "resuming" if args.resume else "starting"
+        jobs = spec.jobs if args.jobs is None else args.jobs
+        print(f"{mode} sweep {spec.name!r}: {n_points} points, jobs={jobs}, "
+              f"dir={spec.sweep_dir!r}", flush=True)
+
+    received, previous, handler = _install_stop_handlers(sweep.request_stop)
+    try:
+        result = sweep.run(
+            jobs=args.jobs,
+            resume=args.resume,
+            stop_after_points=args.stop_after_points,
+            count_flops=args.count_flops,
+            progress=progress,
+            record_progress=record_progress,
+        )
+    finally:
+        _restore_handlers(previous, handler)
+
+    signaled = result.stop_reason == "stop_requested" and received
+    if not args.quiet:
+        done = sum(1 for status in result.statuses.values() if status == "done")
+        if signaled:
+            status = f"interrupted by {signal.Signals(received[0]).name}"
+        else:
+            status = "interrupted" if result.interrupted else "completed"
+        print(f"sweep {spec.name!r} {status}: {done}/{n_points} points done"
+              + (f" (combined results: {result.combined_path})"
+                 if result.combined_path else "")
+              + (f" (manifest: {result.manifest_path})"
+                 if result.manifest_path else ""), flush=True)
+        for name in result.failed:
+            print(f"[{name}] FAILED: {result.errors.get(name, 'unknown error')}",
+                  flush=True)
+    if signaled:
+        return EXIT_SIGNALED
+    if result.interrupted:
+        return EXIT_INTERRUPTED
+    if any(status == STATUS_FAILED for status in result.statuses.values()):
+        return EXIT_FAILED_POINTS
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Back-compat: the original flat invocation `python -m repro.sim spec.json`
+    # (no subcommand) means `run spec.json`.
+    if argv and argv[0] not in _COMMANDS and argv[0] not in ("-h", "--help"):
+        argv = ["run"] + argv
+    args = build_parser().parse_args(argv)
+    return args.func(args)
 
 
 if __name__ == "__main__":

@@ -42,6 +42,18 @@ class SerializationError(ValueError):
     """Raised when a state dict cannot be serialized or restored."""
 
 
+def canonical_json(value) -> str:
+    """JSON-normalized form for config comparisons.
+
+    An in-memory spec may hold tuples (or numpy scalars) where its persisted
+    counterpart went through ``json.dump`` and holds lists/floats; comparing
+    the serialized forms avoids spurious mismatches.  Both resume paths (run
+    checkpoints and sweep manifests) use this one canonicalizer so they agree
+    on what counts as "the same spec".
+    """
+    return json.dumps(value, sort_keys=True, default=str)
+
+
 # --------------------------------------------------------------------- #
 # Tensors
 # --------------------------------------------------------------------- #
@@ -257,7 +269,7 @@ def mps_from_dict(payload: Dict[str, Any], backend: Union[str, Backend, None] = 
     """Rebuild an MPS from :func:`mps_to_dict` output (bitwise exact)."""
     from repro.mps.mps import MPS
 
-    _check_payload(payload, "MPS")
+    check_payload(payload, "MPS")
     backend = get_backend(backend if backend is not None else payload["backend"])
     tensors = [decode_tensor(backend, t) for t in payload["tensors"]]
     return MPS(tensors, backend)
@@ -350,7 +362,7 @@ def attach_environment_from_dict(peps, payload: Dict[str, Any]):
     """Attach the serialized environment to ``peps`` and restore its caches."""
     from repro.peps.envs.ctm import EnvCTM
 
-    _check_payload(payload, "Environment")
+    check_payload(payload, "Environment")
     option = contract_option_from_dict(payload["contract_option"])
     env = peps.attach_environment(option)
     backend = peps.backend
@@ -395,7 +407,7 @@ def peps_from_dict(payload: Dict[str, Any], backend: Union[str, Backend, None] =
     """Rebuild a PEPS (and its attached environment) bitwise-exactly."""
     from repro.peps.peps import PEPS
 
-    _check_payload(payload, "PEPS")
+    check_payload(payload, "PEPS")
     backend = get_backend(backend if backend is not None else payload["backend"])
     grid = [[decode_tensor(backend, t) for t in row] for row in payload["tensors"]]
     peps = PEPS(grid, backend)
@@ -486,7 +498,7 @@ def clear_checkpoints(directory: Union[str, os.PathLike], name: str) -> int:
 def load_checkpoint(path: Union[str, os.PathLike]) -> Dict[str, Any]:
     with open(os.fspath(path)) as handle:
         payload = json.load(handle)
-    _check_payload(payload, "Checkpoint")
+    check_payload(payload, "Checkpoint")
     return payload
 
 
@@ -520,7 +532,13 @@ def _list_checkpoints(
     return out
 
 
-def _check_payload(payload: Dict[str, Any], expected_type: str) -> None:
+def check_payload(payload: Dict[str, Any], expected_type: str) -> None:
+    """Validate a serialized document's ``type`` tag and ``format_version``.
+
+    Every persistent artifact of the runner (checkpoints, state dicts, the
+    sweep manifest) carries both fields; mismatches raise
+    :class:`SerializationError` instead of silently misreading the file.
+    """
     if not isinstance(payload, dict) or payload.get("type") != expected_type:
         raise SerializationError(
             f"expected a serialized {expected_type}, got "

@@ -17,7 +17,6 @@ the uninterrupted run's records float-for-float.
 
 from __future__ import annotations
 
-import json
 import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Union
@@ -30,16 +29,6 @@ from repro.sim.workloads import Workload, build_workload
 #: A measurement hook: ``hook(simulation, step_index) -> dict`` merged into
 #: the step record (return ``None`` for nothing).
 MeasurementHook = Callable[["Simulation", int], Optional[Dict[str, Any]]]
-
-
-def _canonical(value) -> str:
-    """JSON-normalized form for spec comparisons.
-
-    An in-memory spec may hold tuples (or numpy scalars) where the
-    checkpointed spec went through ``json.dump`` and holds lists/floats;
-    comparing the serialized forms avoids spurious mismatches.
-    """
-    return json.dumps(value, sort_keys=True, default=str)
 
 
 @dataclass
@@ -108,7 +97,9 @@ class Simulation:
         finishes the step in flight, writes one checkpoint (regardless of the
         ``checkpoint_every`` schedule, so a preempted run can always resume)
         and returns with ``interrupted=True`` and
-        ``stop_reason="stop_requested"``.
+        ``stop_reason="stop_requested"``.  A request that arrives before
+        :meth:`run` starts (e.g. a signal racing the workload build) is not
+        lost: the next run stops after its first step.
         """
         self._stop_requested = True
 
@@ -163,7 +154,8 @@ class Simulation:
         )
         mismatched = [
             name for name in physics_fields
-            if _canonical(getattr(saved_spec, name)) != _canonical(getattr(self.spec, name))
+            if sim_io.canonical_json(getattr(saved_spec, name))
+            != sim_io.canonical_json(getattr(self.spec, name))
         ]
         if mismatched:
             raise ValueError(
@@ -196,10 +188,10 @@ class Simulation:
             Called with every step record as it is produced.
         """
         spec = self.spec
-        # Reset before setup, not after: a stop request (e.g. SIGTERM) that
-        # arrives while the workload builds its state must survive into the
-        # loop so the run still checkpoints-and-exits after one step.
-        self._stop_requested = False
+        # Deliberately no reset of _stop_requested here: a stop request (e.g.
+        # SIGTERM) that arrives between construction and the loop — while the
+        # workload builds its state, or even before run() is entered — must
+        # survive so the run still checkpoints-and-exits after one step.
         self.workload.setup()
         start_step = 0
         prior_records: List[Dict[str, Any]] = []

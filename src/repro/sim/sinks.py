@@ -100,6 +100,34 @@ class JSONSink(ResultSink):
         self._since_flush = 0
 
 
+class SweepSink:
+    """Merge per-point record streams into one combined sweep document.
+
+    Wraps any :class:`ResultSink`: each merged record is the point's step
+    record tagged with the point name (``{"point": "0002-rank2", ...}``).
+    The sweep driver feeds points in expansion order, so the combined
+    document is deterministic regardless of execution order or parallelism.
+    """
+
+    def __init__(self, sink: ResultSink) -> None:
+        self.sink = sink
+
+    @property
+    def records(self) -> List[Dict[str, Any]]:
+        return self.sink.records
+
+    def open(self) -> None:
+        self.sink.open()
+
+    def write_point(self, point: str, records: List[Dict[str, Any]]) -> None:
+        """Append one point's records, each tagged with the point name."""
+        for record in records:
+            self.sink.write({"point": point, **record})
+
+    def close(self) -> None:
+        self.sink.close()
+
+
 def make_sink(path: Optional[Union[str, os.PathLike]]) -> ResultSink:
     """Sink for a results path: ``.jsonl`` streams lines, other suffixes get
     one JSON document, ``None`` keeps records in memory."""

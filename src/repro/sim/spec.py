@@ -182,6 +182,9 @@ class RunSpec:
         payload = asdict(self)
         payload["lattice"] = list(self.lattice)
         payload["observables"] = list(self.observables)
+        # An in-process run may carry a live Backend instance (e.g. one with
+        # an attached FlopCounter); persist its registry name instead.
+        payload["backend"] = getattr(self.backend, "name", self.backend)
         payload["spec_version"] = SPEC_VERSION
         return payload
 
@@ -224,6 +227,48 @@ class RunSpec:
     def build_contract_option(self):
         """Contraction option from the ``contraction`` config (``None`` = default)."""
         return contract_option_from_dict(_normalize_contraction(self.contraction))
+
+
+def apply_spec_override(payload: Dict[str, Any], path: str, value: Any) -> None:
+    """Set one dotted-path override on a RunSpec payload dict, in place.
+
+    ``path`` addresses a spec field (``"n_steps"``) or a key inside one of
+    the dict-valued config blocks (``"update.rank"``, ``"contraction.bond"``,
+    ``"algorithm.tau"``, ``"model.j2"``).  The first segment must name a
+    :class:`RunSpec` field; deeper segments walk (and create) nested dicts.
+    This is the override primitive of :mod:`repro.sim.sweep`: a sweep axis is
+    a dotted path plus the list of values it takes.
+    """
+    parts = path.split(".")
+    field_name = parts[0]
+    known = set(RunSpec.__dataclass_fields__)
+    if field_name not in known:
+        raise ValueError(
+            f"unknown override path {path!r}: {field_name!r} is not a RunSpec "
+            f"field (known fields: {sorted(known)})"
+        )
+    if len(parts) == 1:
+        payload[field_name] = value
+        return
+    node = payload.get(field_name)
+    if node is None:
+        node = payload[field_name] = {}
+    if not isinstance(node, dict):
+        raise ValueError(
+            f"cannot apply override {path!r}: field {field_name!r} holds "
+            f"{type(node).__name__}, not a config dict"
+        )
+    for depth, part in enumerate(parts[1:-1], start=2):
+        child = node.get(part)
+        if child is None:
+            child = node[part] = {}
+        if not isinstance(child, dict):
+            raise ValueError(
+                f"cannot apply override {path!r}: {'.'.join(parts[:depth])!r} "
+                f"holds {type(child).__name__}, not a config dict"
+            )
+        node = child
+    node[parts[-1]] = value
 
 
 def _normalize_update(config: Optional[Dict[str, Any]]) -> Optional[Dict[str, Any]]:

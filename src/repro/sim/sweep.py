@@ -1,0 +1,833 @@
+"""Parameter sweeps: fan one base RunSpec into a grid of resumable runs.
+
+The paper's headline results (the Fig. 13/14 accuracy-vs-bond-dimension
+curves) are grids of runs over ``(r, m, chi)``.  A :class:`SweepSpec` captures
+such a grid declaratively: one base :class:`~repro.sim.spec.RunSpec` payload
+plus an ``axes`` block of dotted-path overrides::
+
+    sweep = SweepSpec.from_dict({
+        "name": "fig13",
+        "base": { ... any RunSpec payload ... },
+        "axes": {"update.rank": [1, 2, 3], "contraction.bond": [4, 8]},
+        "mode": "product",             # or "zip" for paired axes
+        "sweep_dir": "fig13-sweep",
+        "jobs": 4,
+    })
+    result = Sweep(sweep).run()                 # or: python -m repro.sim sweep
+    result = Sweep(sweep).run(resume=True)      # skip/resume after a crash
+
+Expansion is deterministic: ``product`` mode walks the axes in declaration
+order (last axis fastest), ``zip`` mode pairs equal-length axes, and an
+explicit ``points`` list of override dicts replaces ``axes`` entirely.  Every
+point gets a stable name (``0003-rank2-bond8``), a per-run working directory
+``<sweep_dir>/<point>/`` holding its checkpoints and a ``results.jsonl``
+stream, and — unless ``derive_seeds`` is disabled — its own seed derived from
+the base seed via :func:`repro.utils.rng.derive_rng`, so the whole grid is a
+pure function of one integer.
+
+The :class:`Sweep` driver executes the grid serially or through a
+``multiprocessing`` worker pool (``jobs``), maintains an atomic sweep-level
+manifest (``<sweep_dir>/manifest.json``, one status per point:
+``pending`` / ``running`` / ``done`` / ``failed``), propagates SIGTERM/SIGINT
+to workers (each in-flight run finishes its step, checkpoints and reports
+``interrupted``), and on completion merges the per-point record streams into
+one combined JSONL/JSON document through a
+:class:`~repro.sim.sinks.SweepSink`.  Because each point rides the existing
+checkpoint/resume machinery, a resumed sweep skips completed points,
+continues interrupted ones float-for-float, and produces a combined document
+bitwise identical to an uninterrupted sweep's.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import json
+import multiprocessing
+import os
+import queue as queue_module
+import re
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.sim.io import (
+    FORMAT_VERSION,
+    atomic_write_json,
+    canonical_json,
+    check_payload,
+)
+from repro.sim.runner import Simulation
+from repro.sim.sinks import SweepSink, make_sink
+from repro.sim.spec import SPEC_VERSION, RunSpec, apply_spec_override
+from repro.utils.rng import derive_rng
+
+#: Manifest point statuses.
+STATUS_PENDING = "pending"
+STATUS_RUNNING = "running"
+STATUS_DONE = "done"
+STATUS_FAILED = "failed"
+
+#: Filename of the sweep manifest inside ``sweep_dir``.
+MANIFEST_FILENAME = "manifest.json"
+
+#: A sweep progress event: ``{"event": "started"|"finished", "point": name,
+#: "status": ..., ...}``.
+SweepProgress = Callable[[Dict[str, Any]], None]
+
+
+def derive_point_seed(root_seed: Optional[int], index: int) -> Optional[int]:
+    """The derived child seed of sweep point ``index``.
+
+    Uses the ``(root_seed, "sweep", index)`` substream of
+    :func:`repro.utils.rng.derive_rng`; pinned by a golden regression test so
+    existing sweep results can never silently reshuffle.  ``None`` root seeds
+    stay ``None`` (non-reproducible runs stay non-reproducible).
+    """
+    if root_seed is None:
+        return None
+    return int(derive_rng(root_seed, "sweep", index).integers(1 << 63))
+
+
+def _format_override(path: str, value: Any) -> str:
+    """One filesystem-safe name fragment for an override, e.g. ``rank2``."""
+    leaf = path.split(".")[-1]
+    text = repr(value) if isinstance(value, float) else str(value)
+    return re.sub(r"[^A-Za-z0-9.+_-]+", "-", f"{leaf}{text}").strip("-")
+
+
+@dataclass
+class SweepPoint:
+    """One expanded grid point: its name, overrides and child RunSpec payload."""
+
+    index: int
+    name: str
+    overrides: Dict[str, Any]
+    payload: Dict[str, Any]
+
+    @property
+    def spec(self) -> RunSpec:
+        return RunSpec.from_dict(self.payload)
+
+    @property
+    def results_path(self) -> str:
+        return self.payload["results"]
+
+
+@dataclass
+class SweepSpec:
+    """Declarative description of a parameter-sweep grid.
+
+    Attributes
+    ----------
+    name:
+        Sweep identifier; prefixes child run names.
+    base:
+        The base :class:`RunSpec` payload dict every point starts from.
+    axes:
+        Ordered mapping of dotted override path (see
+        :func:`repro.sim.spec.apply_spec_override`) to the list of values it
+        takes.  ``product`` mode expands the full grid (last axis fastest);
+        ``zip`` mode pairs the axes element-wise (equal lengths required).
+    mode:
+        ``"product"`` (default) or ``"zip"``.
+    points:
+        Explicit list of override dicts replacing ``axes`` (mutually
+        exclusive with it).
+    sweep_dir:
+        Working directory: per-point subdirectories, the manifest and (by
+        default) the combined results document live here.
+    results:
+        Combined results document path (``.jsonl`` streams one record per
+        line, anything else one JSON document); defaults to
+        ``<sweep_dir>/results.jsonl``.
+    jobs:
+        Default worker-pool size for :meth:`Sweep.run` (1 = serial).
+    derive_seeds:
+        Give every point its own :func:`derive_point_seed` substream of the
+        base seed (default).  Disable to run every point with the base seed
+        (e.g. to isolate the effect of an axis at fixed randomness).  An
+        explicit ``"seed"`` axis/override always wins.
+    """
+
+    name: str = "sweep"
+    base: Dict[str, Any] = field(default_factory=dict)
+    axes: Dict[str, List[Any]] = field(default_factory=dict)
+    mode: str = "product"
+    points: Optional[List[Dict[str, Any]]] = None
+    sweep_dir: str = "sweep"
+    results: Optional[str] = None
+    jobs: int = 1
+    derive_seeds: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("product", "zip"):
+            raise ValueError(f'sweep mode must be "product" or "zip", got {self.mode!r}')
+        if not isinstance(self.base, dict):
+            raise ValueError(f"sweep base must be a RunSpec payload dict, got {type(self.base).__name__}")
+        if self.points is not None and self.axes:
+            raise ValueError('give either "axes" or an explicit "points" list, not both')
+        for path, values in self.axes.items():
+            if not isinstance(values, (list, tuple)) or len(values) == 0:
+                raise ValueError(f"sweep axis {path!r} needs a non-empty list of values")
+        if self.mode == "zip" and self.axes:
+            lengths = {path: len(values) for path, values in self.axes.items()}
+            if len(set(lengths.values())) > 1:
+                raise ValueError(f"zip mode needs equal-length axes, got {lengths}")
+        if self.points is not None:
+            if len(self.points) == 0:
+                raise ValueError("an explicit points list must not be empty")
+            for i, overrides in enumerate(self.points):
+                if not isinstance(overrides, dict):
+                    raise ValueError(f"sweep point {i} must be an override dict")
+        self.jobs = int(self.jobs)
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+
+    # ------------------------------------------------------------------ #
+    # Dict / JSON round trip (mirrors RunSpec)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SweepSpec":
+        payload = dict(payload)
+        version = payload.pop("spec_version", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise ValueError(
+                f"unsupported spec_version {version!r} (this build reads {SPEC_VERSION})"
+            )
+        known = set(cls.__dataclass_fields__)
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown SweepSpec fields {sorted(unknown)}; known fields: {sorted(known)}"
+            )
+        return cls(**payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path: Union[str, os.PathLike]) -> "SweepSpec":
+        with open(os.fspath(path)) as handle:
+            return cls.from_dict(json.load(handle))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec_version": SPEC_VERSION,
+            "name": self.name,
+            "base": copy.deepcopy(self.base),
+            "axes": {path: list(values) for path, values in self.axes.items()},
+            "mode": self.mode,
+            "points": copy.deepcopy(self.points),
+            "sweep_dir": self.sweep_dir,
+            "results": self.results,
+            "jobs": self.jobs,
+            "derive_seeds": self.derive_seeds,
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    # ------------------------------------------------------------------ #
+    # Expansion
+    # ------------------------------------------------------------------ #
+    def override_sets(self) -> List[Dict[str, Any]]:
+        """The per-point override dicts, in deterministic expansion order."""
+        if self.points is not None:
+            return [dict(overrides) for overrides in self.points]
+        if not self.axes:
+            return [{}]
+        paths = list(self.axes)
+        if self.mode == "zip":
+            length = len(next(iter(self.axes.values())))
+            return [
+                {path: self.axes[path][i] for path in paths} for i in range(length)
+            ]
+        combos = itertools.product(*(self.axes[path] for path in paths))
+        return [dict(zip(paths, combo)) for combo in combos]
+
+    @property
+    def combined_results_path(self) -> str:
+        if self.results is not None:
+            return self.results
+        return os.path.join(self.sweep_dir, "results.jsonl")
+
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.sweep_dir, MANIFEST_FILENAME)
+
+    def expand(self) -> List[SweepPoint]:
+        """Expand into named child points with payloads, dirs and seeds set.
+
+        Deterministic: the same spec always yields the same point names,
+        overrides and derived seeds, which is what lets a resumed sweep match
+        its manifest against a fresh expansion.
+        """
+        base_seed = self.base.get("seed", 0)  # RunSpec's default seed
+        points: List[SweepPoint] = []
+        seen: Dict[str, int] = {}
+        for index, overrides in enumerate(self.override_sets()):
+            payload = copy.deepcopy(self.base)
+            for path, value in overrides.items():
+                apply_spec_override(payload, path, value)
+            fragments = [f"{index:04d}"] + [
+                _format_override(path, value) for path, value in overrides.items()
+            ]
+            name = "-".join(fragment for fragment in fragments if fragment)
+            if name in seen:  # sanitization collisions get the index anyway
+                raise ValueError(f"duplicate sweep point name {name!r}")
+            seen[name] = index
+            if self.derive_seeds and "seed" not in overrides:
+                payload["seed"] = derive_point_seed(base_seed, index)
+            payload["name"] = f"{self.name}-{name}"
+            point_dir = os.path.join(self.sweep_dir, name)
+            payload["checkpoint_dir"] = os.path.join(point_dir, "checkpoints")
+            payload["results"] = os.path.join(point_dir, "results.jsonl")
+            # Validate eagerly so a bad axis fails at expansion, not mid-grid.
+            RunSpec.from_dict(payload)
+            points.append(
+                SweepPoint(index=index, name=name, overrides=dict(overrides), payload=payload)
+            )
+        return points
+
+
+@dataclass
+class SweepResult:
+    """Outcome of a (possibly interrupted) sweep."""
+
+    spec: SweepSpec
+    statuses: Dict[str, str]
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    interrupted: bool = False
+    stop_reason: Optional[str] = None
+    completed: bool = False
+    combined_path: Optional[str] = None
+    manifest_path: Optional[str] = None
+    metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    errors: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def failed(self) -> List[str]:
+        return [name for name, status in self.statuses.items() if status == STATUS_FAILED]
+
+    def point_records(self, name: str) -> List[Dict[str, Any]]:
+        """The combined-document records of one point (tag stripped)."""
+        return [
+            {key: value for key, value in record.items() if key != "point"}
+            for record in self.records
+            if record.get("point") == name
+        ]
+
+
+# --------------------------------------------------------------------- #
+# Per-point execution (shared by the serial path and pool workers)
+# --------------------------------------------------------------------- #
+def _execute_point(
+    payload: Dict[str, Any],
+    allow_resume: bool,
+    count_flops: bool = False,
+    register: Optional[Callable[[Optional[Simulation]], None]] = None,
+    record_progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> Dict[str, Any]:
+    """Run one child spec to completion/interruption; never raises."""
+    from repro.peps.contraction import stats
+
+    flop_counter = None
+    try:
+        spec = RunSpec.from_dict(payload)
+        if count_flops and isinstance(spec.backend, str) and spec.backend in ("numpy", "np"):
+            from repro.backends import get_backend
+            from repro.utils.flops import FlopCounter
+
+            flop_counter = FlopCounter()
+            spec.backend = get_backend(spec.backend, flop_counter=flop_counter)
+        simulation = Simulation(spec)
+    except Exception as exc:  # config/build error: report, don't kill the grid
+        return {"status": STATUS_FAILED, "error": f"{type(exc).__name__}: {exc}"}
+    if register is not None:
+        register(simulation)
+    resume_run = bool(allow_resume) and simulation.latest_checkpoint() is not None
+    start = time.perf_counter()
+    absorptions = stats.absorption_count()
+    ctm_moves = stats.ctm_move_count()
+    try:
+        result = simulation.run(resume=resume_run, progress=record_progress)
+    except Exception as exc:
+        return {"status": STATUS_FAILED, "error": f"{type(exc).__name__}: {exc}"}
+    finally:
+        if register is not None:
+            register(None)
+    metrics: Dict[str, Any] = {
+        "wall_time_s": time.perf_counter() - start,
+        "row_absorptions": stats.absorption_count() - absorptions,
+        "ctm_moves": stats.ctm_move_count() - ctm_moves,
+    }
+    if flop_counter is not None:
+        metrics["flops"] = flop_counter.total
+        metrics["flops_by_category"] = flop_counter.by_category()
+    return {
+        "status": STATUS_RUNNING if result.interrupted else STATUS_DONE,
+        "interrupted": result.interrupted,
+        "final_step": result.final_step,
+        "n_records": len(result.records),
+        "metrics": metrics,
+    }
+
+
+#: Worker-process state: the in-flight Simulation (for signal-handler stop
+#: requests) and whether a stop was requested.
+_WORKER_STATE: Dict[str, Any] = {"simulation": None, "stop": False}
+
+
+def _worker_register(simulation: Optional[Simulation]) -> None:
+    _WORKER_STATE["simulation"] = simulation
+    # A signal that raced the registration must still reach the run.
+    if simulation is not None and _WORKER_STATE["stop"]:
+        simulation.request_stop()
+
+
+def _worker_signal_handler(signum, frame) -> None:
+    # Only set flags: the in-flight run finishes its step, writes one
+    # off-schedule checkpoint and returns interrupted (the same contract as
+    # the single-run CLI), then the worker loop exits before taking new work.
+    _WORKER_STATE["stop"] = True
+    simulation = _WORKER_STATE.get("simulation")
+    if simulation is not None:
+        simulation.request_stop()
+
+
+def _sweep_worker(task_queue, result_queue, stop_event, count_flops) -> None:
+    """Pool worker: drain tasks until a sentinel, stop request or signal."""
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(sig, _worker_signal_handler)
+        except (ValueError, OSError):  # pragma: no cover - exotic platforms
+            pass
+    while not stop_event.is_set() and not _WORKER_STATE["stop"]:
+        task = task_queue.get()
+        if task is None:  # sentinel: no more work
+            break
+        name, payload, allow_resume = task
+        result_queue.put(("started", name, None))
+        outcome = _execute_point(
+            payload, allow_resume, count_flops=count_flops, register=_worker_register
+        )
+        result_queue.put(("finished", name, outcome))
+
+
+class Sweep:
+    """Driver executing a :class:`SweepSpec` grid with manifest + resume.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`SweepSpec` (or plain dict parsed with
+        :meth:`SweepSpec.from_dict`).
+    """
+
+    def __init__(self, spec: Union[SweepSpec, Dict[str, Any]]) -> None:
+        self.spec = spec if isinstance(spec, SweepSpec) else SweepSpec.from_dict(spec)
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self._stop_requested = False
+        self._stop_event = None
+        self._workers: List[Any] = []
+        self._current_simulation: Optional[Simulation] = None
+
+    # ------------------------------------------------------------------ #
+    # External stop requests (preemption / signal handling)
+    # ------------------------------------------------------------------ #
+    def request_stop(self) -> None:
+        """Stop dispatching new points and interrupt the in-flight ones.
+
+        Safe to call from a signal handler.  Serial runs forward the request
+        to the current :class:`Simulation`; pool runs set the shared stop
+        event and SIGTERM every live worker, whose handler does the same.
+        In-flight points finish their step, checkpoint and report
+        ``interrupted``; the sweep resumes them with ``resume=True`` later.
+        """
+        self._stop_requested = True
+        event = self._stop_event
+        if event is not None:
+            event.set()
+        simulation = self._current_simulation
+        if simulation is not None:
+            simulation.request_stop()
+        for worker in list(self._workers):
+            if worker.is_alive():
+                try:
+                    os.kill(worker.pid, signal.SIGTERM)
+                except (OSError, ValueError):  # pragma: no cover - racing exit
+                    pass
+
+    # ------------------------------------------------------------------ #
+    # Manifest
+    # ------------------------------------------------------------------ #
+    def _write_manifest(self) -> str:
+        payload = {
+            "format_version": FORMAT_VERSION,
+            "type": "SweepManifest",
+            "sweep": self.spec.name,
+            "spec": self.spec.to_dict(),
+            "points": list(self._entries.values()),
+        }
+        return atomic_write_json(self.spec.manifest_path, payload)
+
+    @staticmethod
+    def load_manifest(path: Union[str, os.PathLike]) -> Dict[str, Any]:
+        """Load and validate a sweep manifest document."""
+        with open(os.fspath(path)) as handle:
+            payload = json.load(handle)
+        check_payload(payload, "SweepManifest")
+        return payload
+
+    def _fresh_entries(self, points: List[SweepPoint]) -> Dict[str, Dict[str, Any]]:
+        return {
+            point.name: {
+                "name": point.name,
+                "index": point.index,
+                "overrides": dict(point.overrides),
+                "seed": point.payload.get("seed"),
+                "status": STATUS_PENDING,
+                "final_step": None,
+                "error": None,
+                "metrics": None,
+            }
+            for point in points
+        }
+
+    def _resume_entries(self, points: List[SweepPoint]) -> Dict[str, Dict[str, Any]]:
+        """Statuses from the on-disk manifest, validated against ``points``."""
+        path = self.spec.manifest_path
+        if not os.path.exists(path):
+            raise FileNotFoundError(
+                f"no sweep manifest at {path!r}; run without --resume first"
+            )
+        saved = self.load_manifest(path)["points"]
+        if len(saved) != len(points):
+            raise ValueError(
+                f"sweep manifest {path!r} holds {len(saved)} points but the spec "
+                f"expands to {len(points)}; refusing to resume"
+            )
+        entries: Dict[str, Dict[str, Any]] = {}
+        for point, entry in zip(points, saved):
+            mismatched = (
+                entry.get("name") != point.name
+                or canonical_json(entry.get("overrides")) != canonical_json(point.overrides)
+                or entry.get("seed") != point.payload.get("seed")
+            )
+            if mismatched:
+                raise ValueError(
+                    f"sweep manifest {path!r} was written by an incompatible spec "
+                    f"(point {point.index}: {entry.get('name')!r} vs {point.name!r}); "
+                    f"refusing to resume"
+                )
+            entry = dict(entry)
+            if entry.get("status") == STATUS_DONE and not os.path.exists(point.results_path):
+                entry["status"] = STATUS_PENDING  # results lost: run it again
+            entries[point.name] = entry
+        return entries
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        jobs: Optional[int] = None,
+        resume: bool = False,
+        stop_after_points: Optional[int] = None,
+        count_flops: bool = False,
+        progress: Optional[SweepProgress] = None,
+        record_progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> SweepResult:
+        """Execute (or continue) the grid.
+
+        Parameters
+        ----------
+        jobs:
+            Worker-pool size; ``None`` uses ``spec.jobs``, 1 runs serially
+            in-process.
+        resume:
+            Skip points the manifest marks ``done`` and resume interrupted
+            ones from their checkpoints (float-for-float, like single runs).
+        stop_after_points:
+            Interrupt the sweep after this many points *finish in this
+            session* — the deterministic crash knob for tests/CI (mirrors the
+            single-run ``--stop-after``).
+        count_flops:
+            Attach a :class:`~repro.utils.flops.FlopCounter` to each point's
+            NumPy backend and report per-point flops in the metrics.
+        progress:
+            Called with ``{"event": "started"|"finished", "point": ...}``
+            dicts as points start and finish.
+        record_progress:
+            Serial mode only: forwarded to each point's
+            :meth:`Simulation.run` so step records stream as they appear.
+        """
+        spec = self.spec
+        points = spec.expand()
+        os.makedirs(spec.sweep_dir, exist_ok=True)
+        # Deliberately no reset of _stop_requested (mirroring Simulation.run):
+        # a signal that races the expansion/manifest setup must survive into
+        # the dispatch loop so the sweep still stops before its first point.
+        self._entries = self._resume_entries(points) if resume else self._fresh_entries(points)
+        self._write_manifest()
+
+        tasks: List[Tuple[str, Dict[str, Any], bool]] = [
+            (point.name, point.payload, resume)
+            for point in points
+            if self._entries[point.name]["status"] != STATUS_DONE
+        ]
+        jobs = spec.jobs if jobs is None else max(1, int(jobs))
+        interrupted = False
+        stop_reason: Optional[str] = None
+        if tasks:
+            if jobs <= 1 or len(tasks) == 1:
+                interrupted, stop_reason = self._run_serial(
+                    tasks, stop_after_points, count_flops, progress, record_progress
+                )
+            else:
+                interrupted, stop_reason = self._run_parallel(
+                    tasks, jobs, stop_after_points, count_flops, progress
+                )
+
+        statuses = {name: entry["status"] for name, entry in self._entries.items()}
+        metrics = {
+            name: entry["metrics"]
+            for name, entry in self._entries.items()
+            if entry.get("metrics")
+        }
+        errors = {
+            name: entry["error"]
+            for name, entry in self._entries.items()
+            if entry.get("error")
+        }
+        completed = all(status == STATUS_DONE for status in statuses.values())
+        combined_path: Optional[str] = None
+        records: List[Dict[str, Any]] = []
+        if completed:
+            combined_path, records = self._write_combined(points)
+        return SweepResult(
+            spec=spec,
+            statuses=statuses,
+            records=records,
+            interrupted=interrupted,
+            stop_reason=stop_reason,
+            completed=completed,
+            combined_path=combined_path,
+            manifest_path=spec.manifest_path,
+            metrics=metrics,
+            errors=errors,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _mark_started(self, name: str, progress: Optional[SweepProgress]) -> None:
+        self._entries[name]["status"] = STATUS_RUNNING
+        self._write_manifest()
+        if progress is not None:
+            progress({"event": "started", "point": name})
+
+    def _mark_finished(
+        self, name: str, outcome: Dict[str, Any], progress: Optional[SweepProgress]
+    ) -> None:
+        entry = self._entries[name]
+        entry["status"] = outcome["status"]
+        entry["final_step"] = outcome.get("final_step")
+        entry["error"] = outcome.get("error")
+        entry["metrics"] = outcome.get("metrics")
+        self._write_manifest()
+        if progress is not None:
+            progress({
+                "event": "finished",
+                "point": name,
+                "status": outcome["status"],
+                "interrupted": bool(outcome.get("interrupted")),
+                "error": outcome.get("error"),
+            })
+
+    def _register_simulation(self, simulation: Optional[Simulation]) -> None:
+        self._current_simulation = simulation
+        # A stop request that raced the registration must still reach the run.
+        if simulation is not None and self._stop_requested:
+            simulation.request_stop()
+
+    def _run_serial(
+        self,
+        tasks: List[Tuple[str, Dict[str, Any], bool]],
+        stop_after_points: Optional[int],
+        count_flops: bool,
+        progress: Optional[SweepProgress],
+        record_progress: Optional[Callable[[Dict[str, Any]], None]],
+    ) -> Tuple[bool, Optional[str]]:
+        finished = 0
+        for name, payload, allow_resume in tasks:
+            if self._stop_requested:
+                return True, "stop_requested"
+            if stop_after_points is not None and finished >= stop_after_points:
+                return True, "stop_after_points"
+            self._mark_started(name, progress)
+            point_records = None
+            if record_progress is not None:
+                point_records = lambda record, _name=name: record_progress(
+                    {"point": _name, **record}
+                )
+            outcome = _execute_point(
+                payload,
+                allow_resume,
+                count_flops=count_flops,
+                register=self._register_simulation,
+                record_progress=point_records,
+            )
+            self._mark_finished(name, outcome, progress)
+            if outcome.get("interrupted"):
+                return True, "stop_requested"
+            if outcome["status"] == STATUS_DONE:
+                finished += 1
+        return False, None
+
+    def _run_parallel(
+        self,
+        tasks: List[Tuple[str, Dict[str, Any], bool]],
+        jobs: int,
+        stop_after_points: Optional[int],
+        count_flops: bool,
+        progress: Optional[SweepProgress],
+    ) -> Tuple[bool, Optional[str]]:
+        context = multiprocessing.get_context()
+        task_queue = context.Queue()
+        result_queue = context.Queue()
+        stop_event = context.Event()
+        self._stop_event = stop_event
+        if self._stop_requested:  # raced a signal during setup
+            stop_event.set()
+        n_workers = max(1, min(jobs, len(tasks)))
+        workers = [
+            context.Process(
+                target=_sweep_worker,
+                args=(task_queue, result_queue, stop_event, count_flops),
+                daemon=True,
+            )
+            for _ in range(n_workers)
+        ]
+        self._workers = workers
+        for worker in workers:
+            worker.start()
+
+        # Bounded dispatch: hand each worker one task and feed the next task
+        # (or a stop sentinel) only as points finish.  This keeps the stop
+        # decision in the parent — once stopping, no new point ever starts —
+        # which makes --stop-after-points deterministic even with a pool.
+        pending = list(reversed(tasks))  # pop() takes them in order
+        in_flight = 0
+        finished = 0
+        stopping = False
+        interrupted = False
+        stop_reason: Optional[str] = None
+
+        def dispatch_next() -> None:
+            nonlocal in_flight
+            if pending and not stopping and not self._stop_requested:
+                task_queue.put(pending.pop())
+                in_flight += 1
+            else:
+                task_queue.put(None)  # sentinel: this worker is done
+
+        def handle(message) -> None:
+            nonlocal in_flight, finished, stopping, interrupted, stop_reason
+            kind, name, outcome = message
+            if kind == "started":
+                self._mark_started(name, progress)
+                return
+            in_flight -= 1
+            self._mark_finished(name, outcome, progress)
+            if outcome.get("interrupted"):
+                interrupted = True
+                stopping = True
+                stop_reason = stop_reason or "stop_requested"
+            elif outcome["status"] == STATUS_DONE:
+                finished += 1
+                if stop_after_points is not None and finished >= stop_after_points:
+                    stopping = True
+                    if pending or in_flight:
+                        interrupted = True
+                        stop_reason = stop_reason or "stop_after_points"
+            dispatch_next()
+
+        try:
+            for _ in range(n_workers):
+                dispatch_next()
+            while in_flight > 0:
+                try:
+                    message = result_queue.get(timeout=0.2)
+                except queue_module.Empty:
+                    if self._stop_requested:
+                        stopping = True
+                    if not any(worker.is_alive() for worker in workers):
+                        break  # crashed/killed workers: no more results coming
+                    continue
+                handle(message)
+        finally:
+            stop_event.set()
+            for _ in range(n_workers):  # wake any worker still blocked on get
+                task_queue.put(None)
+            for worker in workers:
+                worker.join(timeout=60)
+            for worker in workers:
+                if worker.is_alive():  # pragma: no cover - stuck worker
+                    worker.terminate()
+                    worker.join(timeout=5)
+            # Drain whatever results were in flight while we were shutting down.
+            while True:
+                try:
+                    handle(result_queue.get_nowait())
+                except queue_module.Empty:
+                    break
+            task_queue.close()
+            task_queue.cancel_join_thread()
+            result_queue.close()
+            result_queue.cancel_join_thread()
+            self._workers = []
+            self._stop_event = None
+
+        if self._stop_requested or pending or in_flight > 0:
+            interrupted = True
+            stop_reason = stop_reason or "stop_requested"
+        return interrupted, stop_reason
+
+    # ------------------------------------------------------------------ #
+    # Combined results
+    # ------------------------------------------------------------------ #
+    def _write_combined(
+        self, points: List[SweepPoint]
+    ) -> Tuple[str, List[Dict[str, Any]]]:
+        """Merge per-point record streams into the combined document.
+
+        Always written in expansion order from the per-point results files,
+        so serial, parallel and resumed sweeps produce byte-identical
+        documents.
+        """
+        path = self.spec.combined_results_path
+        sink = SweepSink(make_sink(path))
+        sink.open()
+        try:
+            for point in points:
+                sink.write_point(point.name, _read_point_records(point.results_path))
+        finally:
+            sink.close()
+        return path, sink.records
+
+
+def _read_point_records(path: str) -> List[Dict[str, Any]]:
+    with open(path) as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+def run_sweep(
+    spec: Union[SweepSpec, Dict[str, Any]],
+    jobs: Optional[int] = None,
+    resume: bool = False,
+    **kwargs,
+) -> SweepResult:
+    """One-call convenience: build a :class:`Sweep` and run it."""
+    return Sweep(spec).run(jobs=jobs, resume=resume, **kwargs)

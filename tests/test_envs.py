@@ -11,7 +11,6 @@ from repro.operators.observable import Observable
 from repro.peps import BMPS, EnvBoundaryMPS, EnvExact, Exact, QRUpdate, make_environment
 from repro.peps.contraction import stats
 from repro.peps.envs.boundary import option_signature
-from repro.peps.expectation import expectation_value
 from repro.tensornetwork import ExplicitSVD, ImplicitRandomizedSVD
 
 Z = np.array([[1, 0], [0, -1]], dtype=np.complex128)
@@ -62,7 +61,7 @@ class TestEnvParity:
         for round_index in range(3):
             random_gate_sequence(state, rng, n_gates=4)
             cached = env.expectation(ham)
-            fresh = expectation_value(state, ham, use_cache=False, contract_option=None)
+            fresh = state.expectation(ham, use_cache=False, contract_option=None)
             assert cached == pytest.approx(fresh, abs=1e-8)
 
     def test_truncated_env_matches_seed_cache_path(self):
@@ -177,7 +176,7 @@ class TestBatchedMeasurement:
         values = env.measure_1site(Z)
         assert set(values) == set(range(9))
         for s in range(9):
-            ref = expectation_value(state, Observable.Z(s), use_cache=False)
+            ref = state.expectation(Observable.Z(s), use_cache=False)
             assert values[s] == pytest.approx(ref, abs=1e-9)
 
     def test_measure_1site_site_subset_and_dict_operator(self):
@@ -186,10 +185,10 @@ class TestBatchedMeasurement:
         values = env.measure_1site({0: Z, 4: X})
         assert set(values) == {0, 4}
         assert values[0] == pytest.approx(
-            expectation_value(state, Observable.Z(0), use_cache=False), abs=1e-9
+            state.expectation(Observable.Z(0), use_cache=False), abs=1e-9
         )
         assert values[4] == pytest.approx(
-            expectation_value(state, Observable.X(4), use_cache=False), abs=1e-9
+            state.expectation(Observable.X(4), use_cache=False), abs=1e-9
         )
 
     def test_measure_1site_duplicate_sites(self):
@@ -198,7 +197,7 @@ class TestBatchedMeasurement:
         values = env.measure_1site(Z, sites=[1, 0, 1, 1])
         assert set(values) == {0, 1}
         for s in (0, 1):
-            ref = expectation_value(state, Observable.Z(s), use_cache=False)
+            ref = state.expectation(Observable.Z(s), use_cache=False)
             assert values[s] == pytest.approx(ref, abs=1e-9)
 
     def test_measure_2site_all_nearest_neighbours(self):
@@ -207,7 +206,7 @@ class TestBatchedMeasurement:
         values = env.measure_2site(Z, Z)
         assert len(values) == 12  # 6 horizontal + 6 vertical pairs on 3x3
         for (a, b), val in values.items():
-            ref = expectation_value(state, Observable.ZZ(a, b), use_cache=False)
+            ref = state.expectation(Observable.ZZ(a, b), use_cache=False)
             assert val == pytest.approx(ref, abs=1e-9), (a, b)
 
     def test_measure_on_distributed_backend(self, dist_backend):
@@ -215,7 +214,7 @@ class TestBatchedMeasurement:
         env = state.attach_environment(Exact())
         values = env.measure_1site(Z, sites=[0, 5])
         for s in (0, 5):
-            ref = expectation_value(state, Observable.Z(s), use_cache=False)
+            ref = state.expectation(Observable.Z(s), use_cache=False)
             assert values[s] == pytest.approx(ref, abs=1e-9)
 
 

@@ -110,7 +110,8 @@ class TestCachingEquivalence:
 
     def test_environment_cache_structure(self):
         q, _ = prepared_state(3, 3, seed=9)
-        cache = EnvironmentCache(q, ExplicitSVD(rank=8), 8)
+        with pytest.warns(DeprecationWarning, match="attach_environment"):
+            cache = EnvironmentCache(q, ExplicitSVD(rank=8), 8)
         assert len(cache.upper) == 4   # rows 0..3 absorbed prefixes
         assert len(cache.lower) == 3   # one per row
         assert np.real(cache.norm_sq) > 0
@@ -120,7 +121,8 @@ class TestCachingEquivalence:
 
     def test_cache_norm_matches_inner(self):
         q, _ = prepared_state(2, 3, seed=10)
-        cache = EnvironmentCache(q, ExplicitSVD(rank=16), 16)
+        with pytest.warns(DeprecationWarning, match="attach_environment"):
+            cache = EnvironmentCache(q, ExplicitSVD(rank=16), 16)
         from repro.peps import TwoLayerBMPS
 
         ref = q.inner(q, TwoLayerBMPS(ExplicitSVD(rank=16)))
@@ -136,8 +138,9 @@ class TestErrorsAndEdgeCases:
 
     def test_unsupported_observable_type_raises(self):
         q, _ = prepared_state(2, 2, seed=12)
-        with pytest.raises(TypeError):
-            expectation_value(q, object())
+        with pytest.warns(DeprecationWarning, match="environment API"):
+            with pytest.raises(TypeError):
+                expectation_value(q, object())
 
     def test_unsupported_contract_option_raises(self):
         q, _ = prepared_state(2, 2, seed=13)

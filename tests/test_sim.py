@@ -36,7 +36,7 @@ from repro.sim import (
     update_option_to_dict,
 )
 from repro.sim.io import atomic_write_json, write_checkpoint
-from repro.sim.sinks import JSONLSink, MemorySink, make_sink
+from repro.sim.sinks import JSONLSink, JSONSink, MemorySink, SweepSink, make_sink
 from repro.tensornetwork import ExplicitSVD, ImplicitRandomizedSVD
 
 MODEL = {"kind": "heisenberg_j1j2", "j1": [1.0, 1.0, 1.0],
@@ -261,9 +261,11 @@ class TestCheckpointFiles:
 
 
 class TestSinks:
-    def test_make_sink(self, tmp_path):
+    def test_make_sink_suffix_dispatch(self, tmp_path):
         assert isinstance(make_sink(None), MemorySink)
         assert isinstance(make_sink(tmp_path / "x.jsonl"), JSONLSink)
+        assert isinstance(make_sink(tmp_path / "x.json"), JSONSink)
+        assert isinstance(make_sink(tmp_path / "x.out"), JSONSink)
 
     def test_jsonl_rewrites_prior_records(self, tmp_path):
         path = tmp_path / "out.jsonl"
@@ -273,6 +275,59 @@ class TestSinks:
         sink.close()
         lines = [json.loads(line) for line in path.read_text().splitlines()]
         assert lines == [{"step": 1}, {"step": 2}]
+
+    def test_jsonl_reopen_with_prior_records_has_no_duplicates(self, tmp_path):
+        """Reopening with checkpointed prior records (the resume path) must
+        rewrite the file from scratch, never append a second copy."""
+        path = tmp_path / "out.jsonl"
+        sink = JSONLSink(path)
+        sink.open()
+        sink.write({"step": 1})
+        sink.write({"step": 2})
+        sink.close()
+        again = JSONLSink(path)
+        again.open([{"step": 1}, {"step": 2}])
+        again.write({"step": 3})
+        again.close()
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines == [{"step": 1}, {"step": 2}, {"step": 3}]
+        assert again.records == lines
+
+    def test_jsonl_write_before_open_self_opens(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        sink = JSONLSink(path)
+        sink.write({"step": 1})
+        sink.close()
+        assert [json.loads(l) for l in path.read_text().splitlines()] == [{"step": 1}]
+
+    def test_json_sink_flush_every(self, tmp_path):
+        path = tmp_path / "out.json"
+        sink = JSONSink(path, flush_every=2)
+        sink.open()
+        sink.write({"step": 1})
+        assert not path.exists()  # below the flush threshold: nothing on disk
+        sink.write({"step": 2})
+        assert json.loads(path.read_text()) == {"records": [{"step": 1}, {"step": 2}]}
+        sink.write({"step": 3})  # one past the flush: buffered again
+        assert json.loads(path.read_text()) == {"records": [{"step": 1}, {"step": 2}]}
+        sink.close()  # close always flushes the tail
+        assert json.loads(path.read_text()) == {
+            "records": [{"step": 1}, {"step": 2}, {"step": 3}]
+        }
+
+    def test_sweep_sink_tags_and_orders_records(self, tmp_path):
+        path = tmp_path / "combined.jsonl"
+        sweep_sink = SweepSink(make_sink(path))
+        sweep_sink.open()
+        sweep_sink.write_point("a", [{"step": 1, "energy": 0.5}])
+        sweep_sink.write_point("b", [{"step": 1, "energy": 0.25}])
+        sweep_sink.close()
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines == [
+            {"point": "a", "step": 1, "energy": 0.5},
+            {"point": "b", "step": 1, "energy": 0.25},
+        ]
+        assert sweep_sink.records == lines
 
 
 class TestResumeReproducibility:
