@@ -47,14 +47,23 @@ or from the command line::
 
 from repro.sim.io import (
     FORMAT_VERSION,
+    PAYLOAD_FORMATS,
+    PAYLOAD_INLINE,
+    PAYLOAD_NPZ,
+    SUPPORTED_FORMAT_VERSIONS,
+    InlinePayloadStore,
+    NpzPayloadStore,
+    PayloadStore,
     SerializationError,
     atomic_write_json,
     contract_option_from_dict,
     contract_option_to_dict,
     latest_checkpoint,
     load_checkpoint,
+    make_payload_store,
     mps_from_dict,
     mps_to_dict,
+    open_payload_store,
     peps_from_dict,
     peps_to_dict,
     update_option_from_dict,
@@ -90,7 +99,16 @@ from repro.sim.workloads import (
 
 __all__ = [
     "FORMAT_VERSION",
+    "SUPPORTED_FORMAT_VERSIONS",
     "SPEC_VERSION",
+    "PAYLOAD_FORMATS",
+    "PAYLOAD_INLINE",
+    "PAYLOAD_NPZ",
+    "PayloadStore",
+    "InlinePayloadStore",
+    "NpzPayloadStore",
+    "make_payload_store",
+    "open_payload_store",
     "SerializationError",
     "RunSpec",
     "Simulation",

@@ -32,6 +32,11 @@ finish, one checkpoint is written per interrupted run (even off the
 ("interrupted, checkpoint written"), so preemptible jobs checkpoint on
 eviction rather than on schedule only.  Sweeps forward the signal to every
 pool worker so each in-flight point checkpoints too.
+
+Checkpoints write tensor payloads to a compressed ``.npz`` sidecar by
+default; ``--payload inline`` keeps the self-contained all-JSON form, and
+``--resume`` reads either format regardless (see ``docs/checkpoint-format.md``
+for the on-disk contract and ``docs/cli.md`` for the complete CLI reference).
 """
 
 from __future__ import annotations
@@ -96,6 +101,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="override the spec's checkpoint directory")
     run.add_argument("--checkpoint-every", type=int, default=None, metavar="N",
                      help="override the spec's checkpoint interval")
+    run.add_argument("--payload", choices=("inline", "npz"), default=None,
+                     help="override the spec's checkpoint payload format "
+                     "(npz sidecar or inline base64; --resume reads either)")
     run.add_argument("--name", default=None, help="override the spec's run name")
     run.add_argument("--quiet", action="store_true",
                      help="suppress per-step record output")
@@ -121,6 +129,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override the spec's combined results path")
     sweep.add_argument("--sweep-dir", default=None, metavar="DIR",
                        help="override the spec's working directory")
+    sweep.add_argument("--payload", choices=("inline", "npz"), default=None,
+                       help="override the base spec's checkpoint payload format "
+                       "for every point")
     sweep.add_argument("--count-flops", action="store_true",
                        help="record per-point flop counts in the manifest metrics")
     sweep.add_argument("--quiet", action="store_true",
@@ -172,6 +183,8 @@ def _main_run(args) -> int:
         spec.checkpoint_dir = args.checkpoint_dir
     if args.checkpoint_every is not None:
         spec.checkpoint_every = max(0, args.checkpoint_every)
+    if args.payload is not None:
+        spec.checkpoint_payload = args.payload
     if args.name is not None:
         spec.name = args.name
 
@@ -214,6 +227,10 @@ def _main_sweep(args) -> int:
         spec.results = args.results
     if args.sweep_dir is not None:
         spec.sweep_dir = args.sweep_dir
+    if args.payload is not None:
+        # Land in the base payload: every expanded point inherits it (an
+        # explicit checkpoint_payload axis/override still wins).
+        spec.base["checkpoint_payload"] = args.payload
 
     def progress(event):
         if args.quiet:

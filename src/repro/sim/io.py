@@ -1,11 +1,31 @@
 """Versioned serialization for simulation state (checkpoint/resume).
 
 Every persistent artifact of the simulation runner — checkpoints, result
-documents, run specs — is plain JSON.  Tensor data is encoded losslessly
-(raw little-endian bytes, base64) so that a state restored from a checkpoint
-is *bitwise identical* to the one that was saved; combined with the library's
-per-call seeding of randomized algorithms this makes a resumed run reproduce
-an uninterrupted one float-for-float.
+documents, run specs — is a plain JSON document.  Tensor data is encoded
+losslessly so that a state restored from a checkpoint is *bitwise identical*
+to the one that was saved; combined with the library's per-call seeding of
+randomized algorithms this makes a resumed run reproduce an uninterrupted
+one float-for-float.
+
+Tensor payloads go through a :class:`PayloadStore`, which decides where the
+bytes live (the full on-disk contract is specified in
+``docs/checkpoint-format.md``):
+
+* :class:`InlinePayloadStore` — raw little-endian bytes, base64, embedded in
+  the JSON document itself (the original v1 format; self-contained but
+  ~1.33x the raw size),
+* :class:`NpzPayloadStore` — arrays land in an ``.npz`` *sidecar* file next
+  to the JSON document, keyed by stable payload paths
+  (``peps/tensors/1/2``, ``peps/env/upper/3/0``, ...), deflate-compressed
+  and content-deduplicated; tiny arrays (below
+  :data:`NPZ_INLINE_THRESHOLD` bytes) stay inline in a compact
+  zlib-compressed encoding because the per-member zip overhead would
+  exceed their payload.
+
+The (de)serializers for MPS/PEPS/environments are written once against the
+store interface — ``to_dict(obj, store=...)`` / ``from_dict(payload,
+store=...)`` — so new payload backends (e.g. per-rank shards for the
+distributed backend) drop in without touching them.
 
 The module provides ``to_dict``/``from_dict`` pairs for
 
@@ -13,20 +33,31 @@ The module provides ``to_dict``/``from_dict`` pairs for
 * :class:`~repro.peps.peps.PEPS` (with its attached environment) —
   ``peps_to_dict`` / ``peps_from_dict``,
 * contraction/update option objects — ``contract_option_to_dict`` etc.,
-* whole checkpoint payloads — ``write_checkpoint`` (atomic: write to a
-  temporary file, fsync, ``os.replace``) / ``load_checkpoint`` /
-  ``latest_checkpoint``.
+* whole checkpoint payloads — ``write_checkpoint`` (atomic: sidecar first,
+  then temp file, fsync, ``os.replace`` for the JSON document) /
+  ``load_checkpoint`` + ``open_payload_store`` / ``latest_checkpoint``.
 
 Every dict carries a ``format_version`` so later formats can migrate old
-checkpoints instead of silently misreading them.
+checkpoints instead of silently misreading them.  Version history:
+
+* **1** — inline base64 tensor payloads only (PR 2).
+* **2** — adds ``payload_format``/``sidecar`` checkpoint fields, npz
+  sidecar references (``{"npz": key}``) and the compact zlib inline
+  encoding (``{"dtype", "shape", "z"}``).  Version-1 documents remain
+  readable (:data:`SUPPORTED_FORMAT_VERSIONS`); writers always stamp the
+  current :data:`FORMAT_VERSION`.
 """
 
 from __future__ import annotations
 
 import base64
+import hashlib
+import io as stdlib_io
 import json
 import os
 import tempfile
+import zipfile
+import zlib
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -34,8 +65,22 @@ import numpy as np
 from repro.backends import get_backend
 from repro.backends.interface import Backend
 
-#: Version of the on-disk checkpoint / state-dict format.
-FORMAT_VERSION = 1
+#: Version of the on-disk checkpoint / state-dict format (what writers stamp).
+FORMAT_VERSION = 2
+
+#: Format versions this build can read.
+SUPPORTED_FORMAT_VERSIONS = (1, 2)
+
+#: Payload format names (the ``RunSpec.checkpoint_payload`` knob).
+PAYLOAD_INLINE = "inline"
+PAYLOAD_NPZ = "npz"
+PAYLOAD_FORMATS = (PAYLOAD_INLINE, PAYLOAD_NPZ)
+
+#: Arrays smaller than this many bytes stay inline even under the npz store:
+#: one zip member costs ~250 bytes of container overhead (local + central
+#: headers, the ``.npy`` header, the member name twice), which exceeds the
+#: base64 cost of a tiny array.
+NPZ_INLINE_THRESHOLD = 512
 
 
 class SerializationError(ValueError):
@@ -55,7 +100,7 @@ def canonical_json(value) -> str:
 
 
 # --------------------------------------------------------------------- #
-# Tensors
+# Tensor encodings
 # --------------------------------------------------------------------- #
 def _encode_array(array: np.ndarray) -> Dict[str, Any]:
     """Lossless JSON encoding of a plain NumPy array (base64 of raw bytes)."""
@@ -67,20 +112,252 @@ def _encode_array(array: np.ndarray) -> Dict[str, Any]:
     }
 
 
+def _encode_array_compact(array: np.ndarray) -> Dict[str, Any]:
+    """Inline encoding that zlib-compresses the raw bytes when that is smaller.
+
+    Used for sub-threshold arrays inside npz-format documents; the raw
+    ``data`` form is kept whenever compression does not pay (e.g. very small
+    or incompressible arrays).
+    """
+    array = np.ascontiguousarray(array)
+    raw = array.tobytes()
+    packed = zlib.compress(raw, 9)
+    if len(packed) < len(raw):
+        return {
+            "dtype": array.dtype.str,
+            "shape": list(array.shape),
+            "z": base64.b64encode(packed).decode("ascii"),
+        }
+    return _encode_array(array)
+
+
 def _decode_array(payload: Dict[str, Any]) -> np.ndarray:
-    raw = base64.b64decode(payload["data"])
+    if "z" in payload:
+        raw = zlib.decompress(base64.b64decode(payload["z"]))
+    elif "data" in payload:
+        raw = base64.b64decode(payload["data"])
+    else:
+        raise SerializationError(
+            f"not an inline tensor payload (keys {sorted(payload)})"
+        )
     array = np.frombuffer(raw, dtype=np.dtype(payload["dtype"]))
     return array.reshape([int(d) for d in payload["shape"]]).copy()
 
 
-def encode_tensor(backend: Backend, tensor) -> Dict[str, Any]:
-    """Lossless JSON encoding of one backend tensor (base64 of raw bytes)."""
-    return _encode_array(np.asarray(backend.asarray(tensor)))
+# --------------------------------------------------------------------- #
+# Payload stores
+# --------------------------------------------------------------------- #
+class PayloadStore:
+    """Where tensor bytes live: the (de)serializers' storage interface.
+
+    ``put(path, array)`` returns the JSON payload standing in for ``array``
+    in the document (an inline encoding, or a reference into external
+    storage); ``get(payload)`` inverts it bitwise.  ``path`` is the stable
+    payload path of the array inside the document (``peps/tensors/1/2``);
+    stores that keep bytes externally use it as the storage key.
+    """
+
+    kind = PAYLOAD_INLINE
+
+    def put(self, path: str, array: np.ndarray) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def get(self, payload: Dict[str, Any]) -> np.ndarray:
+        if "npz" in payload:
+            raise SerializationError(
+                "tensor payload references an npz sidecar; open the "
+                "checkpoint's store with io.open_payload_store and pass it "
+                "as store="
+            )
+        return _decode_array(payload)
+
+    def close(self) -> None:
+        """Release any underlying file handle (no-op for inline stores)."""
 
 
-def decode_tensor(backend: Backend, payload: Dict[str, Any]):
+class InlinePayloadStore(PayloadStore):
+    """Embed every array in the JSON document (v1 base64 encoding)."""
+
+    def put(self, path: str, array: np.ndarray) -> Dict[str, Any]:
+        return _encode_array(array)
+
+
+#: Stateless store used whenever no explicit store is passed.
+_INLINE_STORE = InlinePayloadStore()
+
+
+class _HashingWriter:
+    """File-like tee that SHA-256-hashes everything written through it.
+
+    Reports itself non-seekable so :mod:`zipfile` streams members with data
+    descriptors instead of seeking back to patch local headers — every byte
+    is written exactly once, so the running hash equals the file's hash.
+    """
+
+    def __init__(self, handle) -> None:
+        self._handle = handle
+        self._hash = hashlib.sha256()
+        self._pos = 0
+
+    def write(self, data) -> int:
+        written = self._handle.write(data)
+        self._hash.update(data)
+        self._pos += len(data)
+        return written
+
+    def tell(self) -> int:
+        return self._pos
+
+    def flush(self) -> None:
+        self._handle.flush()
+
+    def seekable(self) -> bool:
+        return False
+
+    def hexdigest(self) -> str:
+        return self._hash.hexdigest()
+
+
+class NpzPayloadStore(PayloadStore):
+    """Collect arrays for an ``.npz`` sidecar, keyed by payload path.
+
+    Writing: ``put`` registers each super-threshold array under its payload
+    path (bitwise-identical content is stored once and shared by reference)
+    and returns ``{"npz": key}``; :meth:`save` then writes all registered
+    arrays as one deterministic, deflate-compressed npz file (a plain zip of
+    ``<key>.npy`` members readable by ``numpy.load``).  Sub-threshold arrays
+    are returned as compact inline encodings instead — see
+    :data:`NPZ_INLINE_THRESHOLD`.
+
+    Reading: :meth:`open` wraps an existing sidecar; ``get`` resolves
+    ``{"npz": key}`` references against it (members decompress lazily, one
+    zip read per access) and decodes inline payloads directly.
+    """
+
+    kind = PAYLOAD_NPZ
+
+    def __init__(self, inline_threshold: int = NPZ_INLINE_THRESHOLD) -> None:
+        self.inline_threshold = int(inline_threshold)
+        self._arrays: Dict[str, np.ndarray] = {}
+        self._by_digest: Dict[Tuple[str, Tuple[int, ...], bytes], str] = {}
+        self._npz = None
+        #: SHA-256 hex digest of the last :meth:`save`'d sidecar.
+        self.last_digest: Optional[str] = None
+
+    @classmethod
+    def open(cls, path: Union[str, os.PathLike]) -> "NpzPayloadStore":
+        """Read-only store over an existing sidecar file."""
+        store = cls()
+        store._npz = np.load(os.fspath(path))
+        return store
+
+    @property
+    def paths(self) -> List[str]:
+        """The payload paths registered (write side) or present (read side)."""
+        if self._npz is not None:
+            return list(self._npz.files)
+        return list(self._arrays)
+
+    def put(self, path: str, array: np.ndarray) -> Dict[str, Any]:
+        if self._npz is not None:
+            raise SerializationError("this payload store was opened read-only")
+        array = np.ascontiguousarray(array)
+        if array.nbytes < self.inline_threshold:
+            return _encode_array_compact(array)
+        # array.data hashes the buffer in place; tobytes() would copy it.
+        digest = (array.dtype.str, array.shape, hashlib.sha256(array.data).digest())
+        key = self._by_digest.get(digest)
+        if key is None:
+            if path in self._arrays:
+                raise SerializationError(f"duplicate payload path {path!r}")
+            self._arrays[path] = array
+            self._by_digest[digest] = path
+            key = path
+        return {"npz": key}
+
+    def get(self, payload: Dict[str, Any]) -> np.ndarray:
+        if "npz" not in payload:
+            return _decode_array(payload)
+        key = payload["npz"]
+        if self._npz is not None:
+            if key not in self._npz.files:
+                raise SerializationError(
+                    f"payload {key!r} is missing from the npz sidecar"
+                )
+            return np.asarray(self._npz[key])
+        if key in self._arrays:
+            return self._arrays[key].copy()
+        raise SerializationError(f"unknown npz payload key {key!r}")
+
+    def save(self, path: Union[str, os.PathLike]) -> str:
+        """Atomically write the registered arrays as an npz file.
+
+        The zip is deterministic (fixed member timestamps, insertion order,
+        deflate level 9): identical state always produces identical sidecar
+        bytes.  Written via temp file + fsync + ``os.replace`` like every
+        other persistent artifact; the file's SHA-256 is accumulated while
+        streaming (no re-read) and left in :attr:`last_digest`.
+        """
+        path = os.fspath(path)
+        directory = os.path.dirname(path) or "."
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".tmp-", suffix=".npz")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                writer = _HashingWriter(handle)
+                with zipfile.ZipFile(writer, "w", zipfile.ZIP_DEFLATED) as archive:
+                    for key, array in self._arrays.items():
+                        info = zipfile.ZipInfo(key + ".npy", date_time=(1980, 1, 1, 0, 0, 0))
+                        member = stdlib_io.BytesIO()
+                        np.lib.format.write_array(member, array, allow_pickle=False)
+                        archive.writestr(
+                            info, member.getvalue(), zipfile.ZIP_DEFLATED, 9
+                        )
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+        self.last_digest = writer.hexdigest()
+        return path
+
+    def close(self) -> None:
+        if self._npz is not None:
+            self._npz.close()
+            self._npz = None
+
+
+def make_payload_store(payload_format: Optional[str]) -> PayloadStore:
+    """Fresh write-side store for a ``RunSpec.checkpoint_payload`` value."""
+    if payload_format in (None, PAYLOAD_INLINE):
+        return InlinePayloadStore()
+    if payload_format == PAYLOAD_NPZ:
+        return NpzPayloadStore()
+    raise SerializationError(
+        f"unknown payload format {payload_format!r}; expected one of {PAYLOAD_FORMATS}"
+    )
+
+
+def encode_tensor(
+    backend: Backend, tensor, store: Optional[PayloadStore] = None, path: str = ""
+) -> Dict[str, Any]:
+    """Lossless JSON payload for one backend tensor, via ``store`` if given."""
+    array = np.asarray(backend.asarray(tensor))
+    if store is None:
+        return _encode_array(array)
+    return store.put(path, array)
+
+
+def decode_array(payload: Dict[str, Any], store: Optional[PayloadStore] = None) -> np.ndarray:
+    """Rebuild a NumPy array from any payload encoding (inline or npz ref)."""
+    return (store if store is not None else _INLINE_STORE).get(payload)
+
+
+def decode_tensor(backend: Backend, payload: Dict[str, Any], store: Optional[PayloadStore] = None):
     """Rebuild a backend tensor from :func:`encode_tensor` output."""
-    return backend.astensor(_decode_array(payload))
+    return backend.astensor(decode_array(payload, store))
 
 
 # --------------------------------------------------------------------- #
@@ -254,39 +531,54 @@ def update_option_from_dict(payload: Optional[Dict[str, Any]]):
 # --------------------------------------------------------------------- #
 # MPS
 # --------------------------------------------------------------------- #
-def mps_to_dict(mps) -> Dict[str, Any]:
+def mps_to_dict(mps, store: Optional[PayloadStore] = None, prefix: str = "mps") -> Dict[str, Any]:
     """Versioned state dict of an :class:`~repro.mps.mps.MPS`."""
     backend = mps.backend
     return {
         "format_version": FORMAT_VERSION,
         "type": "MPS",
         "backend": backend.name,
-        "tensors": [encode_tensor(backend, t) for t in mps.tensors],
+        "tensors": [
+            encode_tensor(backend, t, store, f"{prefix}/tensors/{i}")
+            for i, t in enumerate(mps.tensors)
+        ],
     }
 
 
-def mps_from_dict(payload: Dict[str, Any], backend: Union[str, Backend, None] = None):
+def mps_from_dict(
+    payload: Dict[str, Any],
+    backend: Union[str, Backend, None] = None,
+    store: Optional[PayloadStore] = None,
+):
     """Rebuild an MPS from :func:`mps_to_dict` output (bitwise exact)."""
     from repro.mps.mps import MPS
 
     check_payload(payload, "MPS")
     backend = get_backend(backend if backend is not None else payload["backend"])
-    tensors = [decode_tensor(backend, t) for t in payload["tensors"]]
+    tensors = [decode_tensor(backend, t, store) for t in payload["tensors"]]
     return MPS(tensors, backend)
 
 
 # --------------------------------------------------------------------- #
 # PEPS and attached environments
 # --------------------------------------------------------------------- #
-def _ctm_state_to_dict(env) -> Dict[str, Any]:
+def _ctm_state_to_dict(env, store: Optional[PayloadStore], prefix: str) -> Dict[str, Any]:
     """The CTM-specific warm state: per-level corner spectra and convergence."""
     return {
         "upper_spectra": {
-            str(level): [_encode_array(np.asarray(s)) for s in spectra]
+            str(level): [
+                encode_tensor(env.backend, np.asarray(s), store,
+                              f"{prefix}/upper_spectra/{level}/{i}")
+                for i, s in enumerate(spectra)
+            ]
             for level, spectra in env.upper_spectra.items()
         },
         "lower_spectra": {
-            str(level): [_encode_array(np.asarray(s)) for s in spectra]
+            str(level): [
+                encode_tensor(env.backend, np.asarray(s), store,
+                              f"{prefix}/lower_spectra/{level}/{i}")
+                for i, s in enumerate(spectra)
+            ]
             for level, spectra in env.lower_spectra.items()
         },
         "converged": bool(env.converged),
@@ -294,20 +586,22 @@ def _ctm_state_to_dict(env) -> Dict[str, Any]:
     }
 
 
-def _restore_ctm_state(env, payload: Dict[str, Any]) -> None:
+def _restore_ctm_state(env, payload: Dict[str, Any], store: Optional[PayloadStore]) -> None:
     env.upper_spectra = {
-        int(level): [_decode_array(s) for s in spectra]
+        int(level): [decode_array(s, store) for s in spectra]
         for level, spectra in payload.get("upper_spectra", {}).items()
     }
     env.lower_spectra = {
-        int(level): [_decode_array(s) for s in spectra]
+        int(level): [decode_array(s, store) for s in spectra]
         for level, spectra in payload.get("lower_spectra", {}).items()
     }
     env.converged = bool(payload.get("converged", False))
     env.n_sweeps = int(payload.get("n_sweeps", 0))
 
 
-def environment_to_dict(env) -> Dict[str, Any]:
+def environment_to_dict(
+    env, store: Optional[PayloadStore] = None, prefix: str = "env"
+) -> Dict[str, Any]:
     """Serialize a boundary environment: its defining option plus warm caches.
 
     The cached upper/lower boundaries are stored so that a restored
@@ -329,7 +623,7 @@ def environment_to_dict(env) -> Dict[str, Any]:
         option_payload: Dict[str, Any] = {"kind": "exact"}
     elif isinstance(env, EnvCTM):
         option_payload = contract_option_to_dict(env.contract_option)
-        ctm_state = _ctm_state_to_dict(env)
+        ctm_state = _ctm_state_to_dict(env, store, f"{prefix}/ctm")
     elif isinstance(env, EnvBoundaryMPS):
         option_payload = contract_option_to_dict(env.contract_option)
     else:
@@ -345,11 +639,17 @@ def environment_to_dict(env) -> Dict[str, Any]:
         "upper_valid": env._upper_valid,
         "lower_valid": env._lower_valid,
         "upper": [
-            [encode_tensor(backend, t) for t in env._upper[i]]
+            [
+                encode_tensor(backend, t, store, f"{prefix}/upper/{i}/{j}")
+                for j, t in enumerate(env._upper[i])
+            ]
             for i in range(1, env._upper_valid + 1)
         ],
         "lower": [
-            [encode_tensor(backend, t) for t in env._lower[i]]
+            [
+                encode_tensor(backend, t, store, f"{prefix}/lower/{i}/{j}")
+                for j, t in enumerate(env._lower[i])
+            ]
             for i in range(env._lower_valid, env.nrow - 1)
         ],
     }
@@ -358,7 +658,9 @@ def environment_to_dict(env) -> Dict[str, Any]:
     return payload
 
 
-def attach_environment_from_dict(peps, payload: Dict[str, Any]):
+def attach_environment_from_dict(
+    peps, payload: Dict[str, Any], store: Optional[PayloadStore] = None
+):
     """Attach the serialized environment to ``peps`` and restore its caches."""
     from repro.peps.envs.ctm import EnvCTM
 
@@ -369,21 +671,28 @@ def attach_environment_from_dict(peps, payload: Dict[str, Any]):
     upper_valid = int(payload.get("upper_valid", 0))
     lower_valid = int(payload.get("lower_valid", peps.nrow - 1))
     for offset, boundary in enumerate(payload.get("upper", ())):
-        env._upper[offset + 1] = [decode_tensor(backend, t) for t in boundary]
+        env._upper[offset + 1] = [decode_tensor(backend, t, store) for t in boundary]
     for offset, boundary in enumerate(payload.get("lower", ())):
-        env._lower[lower_valid + offset] = [decode_tensor(backend, t) for t in boundary]
+        env._lower[lower_valid + offset] = [decode_tensor(backend, t, store) for t in boundary]
     env._upper_valid = upper_valid
     env._lower_valid = lower_valid
     if isinstance(env, EnvCTM) and payload.get("ctm_state") is not None:
-        _restore_ctm_state(env, payload["ctm_state"])
+        _restore_ctm_state(env, payload["ctm_state"], store)
     return env
 
 
-def peps_to_dict(peps, include_environment: bool = True) -> Dict[str, Any]:
+def peps_to_dict(
+    peps,
+    include_environment: bool = True,
+    store: Optional[PayloadStore] = None,
+    prefix: str = "peps",
+) -> Dict[str, Any]:
     """Versioned state dict of a :class:`~repro.peps.peps.PEPS`.
 
     ``include_environment=True`` also serializes an attached environment
-    (its contraction option and warm boundary caches).
+    (its contraction option and warm boundary caches).  With a
+    :class:`PayloadStore`, tensor payloads are keyed
+    ``{prefix}/tensors/{row}/{col}`` and ``{prefix}/env/...``.
     """
     backend = peps.backend
     payload: Dict[str, Any] = {
@@ -393,26 +702,35 @@ def peps_to_dict(peps, include_environment: bool = True) -> Dict[str, Any]:
         "nrow": peps.nrow,
         "ncol": peps.ncol,
         "tensors": [
-            [encode_tensor(backend, peps.grid[i][j]) for j in range(peps.ncol)]
+            [
+                encode_tensor(backend, peps.grid[i][j], store, f"{prefix}/tensors/{i}/{j}")
+                for j in range(peps.ncol)
+            ]
             for i in range(peps.nrow)
         ],
         "environment": None,
     }
     if include_environment and peps.environment is not None:
-        payload["environment"] = environment_to_dict(peps.environment)
+        payload["environment"] = environment_to_dict(
+            peps.environment, store, f"{prefix}/env"
+        )
     return payload
 
 
-def peps_from_dict(payload: Dict[str, Any], backend: Union[str, Backend, None] = None):
+def peps_from_dict(
+    payload: Dict[str, Any],
+    backend: Union[str, Backend, None] = None,
+    store: Optional[PayloadStore] = None,
+):
     """Rebuild a PEPS (and its attached environment) bitwise-exactly."""
     from repro.peps.peps import PEPS
 
     check_payload(payload, "PEPS")
     backend = get_backend(backend if backend is not None else payload["backend"])
-    grid = [[decode_tensor(backend, t) for t in row] for row in payload["tensors"]]
+    grid = [[decode_tensor(backend, t, store) for t in row] for row in payload["tensors"]]
     peps = PEPS(grid, backend)
     if payload.get("environment") is not None:
-        attach_environment_from_dict(peps, payload["environment"])
+        attach_environment_from_dict(peps, payload["environment"], store)
     return peps
 
 
@@ -446,6 +764,24 @@ def checkpoint_filename(name: str, step: int) -> str:
     return f"{name}-step{int(step):06d}.ckpt.json"
 
 
+def sidecar_filename(name: str, step: int) -> str:
+    """The npz sidecar living next to :func:`checkpoint_filename`."""
+    return f"{name}-step{int(step):06d}.ckpt.npz"
+
+
+def sidecar_for(json_path: str) -> str:
+    """The sidecar path belonging to a checkpoint JSON path."""
+    return json_path[: -len(".json")] + ".npz"
+
+
+def _file_sha256(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
 def write_checkpoint(
     directory: Union[str, os.PathLike],
     name: str,
@@ -454,26 +790,45 @@ def write_checkpoint(
     workload_state: Dict[str, Any],
     records: List[Dict[str, Any]],
     keep: int = 3,
+    store: Optional[PayloadStore] = None,
 ) -> str:
-    """Atomically persist one checkpoint and prune old ones (keep the newest ``keep``)."""
+    """Atomically persist one checkpoint and prune old ones (keep the newest ``keep``).
+
+    ``store`` must be the :class:`PayloadStore` that ``workload_state`` was
+    serialized through (``None`` means inline).  An npz store's arrays are
+    written to the ``.ckpt.npz`` sidecar *before* the JSON document replaces
+    the previous checkpoint, so readers never observe a document whose
+    sidecar is missing; the document additionally records the sidecar's
+    SHA-256 (verified by :func:`open_payload_store`), so a crash between
+    the two replaces — which can leave an older document next to a newer
+    sidecar when the same step is rewritten — is a loud restore error
+    instead of silently mixed tensors.  A store with no registered arrays
+    (e.g. a VQE parameter vector, all inline) writes no sidecar at all.
+    """
+    directory = os.fspath(directory)
     payload = {
         "format_version": FORMAT_VERSION,
         "type": "Checkpoint",
         "name": name,
         "step": int(step),
+        "payload_format": store.kind if store is not None else PAYLOAD_INLINE,
+        "sidecar": None,
         "spec": spec_dict,
         "workload_state": workload_state,
         "records": records,
     }
-    path = os.path.join(os.fspath(directory), checkpoint_filename(name, step))
+    if isinstance(store, NpzPayloadStore) and store.paths:
+        sidecar = sidecar_filename(name, step)
+        payload["sidecar"] = sidecar
+        store.save(os.path.join(directory, sidecar))
+        payload["sidecar_sha256"] = store.last_digest
+    path = os.path.join(directory, checkpoint_filename(name, step))
     atomic_write_json(path, payload)
     if keep and keep > 0:
         existing = sorted(_list_checkpoints(directory, name))
         for _, stale in existing[:-keep]:
-            try:
-                os.unlink(stale)
-            except OSError:
-                pass
+            _unlink_quiet(stale)
+            _unlink_quiet(sidecar_for(stale))
     return path
 
 
@@ -483,16 +838,25 @@ def clear_checkpoints(directory: Union[str, os.PathLike], name: str) -> int:
     A fresh (non-resume) run calls this before its first checkpoint so stale
     files from a superseded session can neither shadow the new run's
     checkpoints in the step-sorted pruning nor be picked up by a later
-    ``--resume``.
+    ``--resume``.  Sidecars are removed along with their JSON documents —
+    including orphans whose document is already gone.
     """
     removed = 0
     for _, path in _list_checkpoints(directory, name):
-        try:
-            os.unlink(path)
+        if _unlink_quiet(path):
             removed += 1
-        except OSError:
-            pass
+        _unlink_quiet(sidecar_for(path))
+    for _, sidecar in _list_checkpoint_files(directory, name, ".ckpt.npz"):
+        _unlink_quiet(sidecar)
     return removed
+
+
+def _unlink_quiet(path: str) -> bool:
+    try:
+        os.unlink(path)
+        return True
+    except OSError:
+        return False
 
 
 def load_checkpoint(path: Union[str, os.PathLike]) -> Dict[str, Any]:
@@ -500,6 +864,49 @@ def load_checkpoint(path: Union[str, os.PathLike]) -> Dict[str, Any]:
         payload = json.load(handle)
     check_payload(payload, "Checkpoint")
     return payload
+
+
+def open_payload_store(
+    payload: Dict[str, Any], path: Union[str, os.PathLike, None] = None
+) -> PayloadStore:
+    """The store that resolves a loaded checkpoint's tensor payloads.
+
+    ``path`` is the checkpoint's JSON path, used to locate the sidecar next
+    to it.  Inline-format checkpoints (including every pre-npz document)
+    get an :class:`InlinePayloadStore`; npz-format checkpoints get a
+    read-only :class:`NpzPayloadStore` over their sidecar (or an empty one
+    when the checkpoint carried no sidecar).  Close the returned store when
+    done restoring.
+    """
+    payload_format = payload.get("payload_format", PAYLOAD_INLINE)
+    if payload_format not in PAYLOAD_FORMATS:
+        raise SerializationError(
+            f"unknown payload format {payload_format!r}; expected one of {PAYLOAD_FORMATS}"
+        )
+    if payload_format == PAYLOAD_INLINE:
+        return InlinePayloadStore()
+    sidecar = payload.get("sidecar")
+    if sidecar is None:
+        return NpzPayloadStore()
+    if path is None:
+        raise SerializationError(
+            "checkpoint references a sidecar; pass the checkpoint path so it "
+            "can be located"
+        )
+    sidecar_path = os.path.join(os.path.dirname(os.fspath(path)) or ".", sidecar)
+    if not os.path.exists(sidecar_path):
+        raise SerializationError(
+            f"checkpoint sidecar {sidecar_path!r} is missing; the checkpoint "
+            f"cannot be restored without it"
+        )
+    expected = payload.get("sidecar_sha256")
+    if expected is not None and _file_sha256(sidecar_path) != expected:
+        raise SerializationError(
+            f"checkpoint sidecar {sidecar_path!r} does not match the digest "
+            f"recorded in the checkpoint document (torn rewrite or external "
+            f"modification); refusing to restore mixed tensors"
+        )
+    return NpzPayloadStore.open(sidecar_path)
 
 
 def latest_checkpoint(
@@ -515,14 +922,20 @@ def latest_checkpoint(
 def _list_checkpoints(
     directory: Union[str, os.PathLike], name: Optional[str]
 ) -> List[Tuple[int, str]]:
+    return _list_checkpoint_files(directory, name, ".ckpt.json")
+
+
+def _list_checkpoint_files(
+    directory: Union[str, os.PathLike], name: Optional[str], suffix: str
+) -> List[Tuple[int, str]]:
     directory = os.fspath(directory)
     if not os.path.isdir(directory):
         return []
     out: List[Tuple[int, str]] = []
     for entry in os.listdir(directory):
-        if not entry.endswith(".ckpt.json"):
+        if not entry.endswith(suffix):
             continue
-        stem = entry[: -len(".ckpt.json")]
+        stem = entry[: -len(suffix)]
         base, sep, step_part = stem.rpartition("-step")
         if not sep or not step_part.isdigit():
             continue
@@ -545,8 +958,8 @@ def check_payload(payload: Dict[str, Any], expected_type: str) -> None:
             f"{payload.get('type') if isinstance(payload, dict) else type(payload).__name__!r}"
         )
     version = payload.get("format_version")
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_FORMAT_VERSIONS:
         raise SerializationError(
             f"unsupported {expected_type} format version {version!r} "
-            f"(this build reads version {FORMAT_VERSION})"
+            f"(this build reads versions {SUPPORTED_FORMAT_VERSIONS})"
         )

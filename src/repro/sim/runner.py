@@ -125,14 +125,19 @@ class Simulation:
         return sim_io.latest_checkpoint(self.spec.checkpoint_dir, self.spec.name)
 
     def _write_checkpoint(self, step: int, records: List[Dict[str, Any]]) -> str:
+        # One fresh store per checkpoint: the workload serializes its tensors
+        # through it, then write_checkpoint lands the arrays in the sidecar
+        # (npz) or leaves them inline, per spec.checkpoint_payload.
+        store = sim_io.make_payload_store(self.spec.checkpoint_payload)
         return sim_io.write_checkpoint(
             self.spec.checkpoint_dir,
             self.spec.name,
             step,
             self.spec.to_dict(),
-            self.workload.state_to_dict(),
+            self.workload.state_to_dict(store=store),
             records,
             keep=self.spec.keep_checkpoints,
+            store=store,
         )
 
     def _load_checkpoint(self, resume: Union[bool, str, os.PathLike]):
@@ -198,7 +203,14 @@ class Simulation:
         resumed_from: Optional[str] = None
         if resume:
             payload, resumed_from = self._load_checkpoint(resume)
-            self.workload.restore_state(payload["workload_state"])
+            # The store resolves the checkpoint's tensor payloads wherever
+            # they live (inline base64 or the npz sidecar) — a run resumes
+            # from either format regardless of its own checkpoint_payload.
+            store = sim_io.open_payload_store(payload, resumed_from)
+            try:
+                self.workload.restore_state(payload["workload_state"], store=store)
+            finally:
+                store.close()
             start_step = int(payload["step"])
             prior_records = list(payload["records"])
         else:

@@ -38,6 +38,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.sim.io import (
+    PAYLOAD_FORMATS,
     SerializationError,
     contract_option_from_dict,
     update_option_from_dict,
@@ -109,6 +110,12 @@ class RunSpec:
         Directory for checkpoint files.
     keep_checkpoints:
         Retain only this many most-recent checkpoints.
+    checkpoint_payload:
+        Where checkpoint tensor payloads live: ``"npz"`` (default) writes a
+        compressed ``.npz`` sidecar next to each checkpoint's JSON document,
+        ``"inline"`` embeds base64 bytes in the JSON itself (the original
+        format).  ``--resume`` reads either format regardless of this
+        setting (see ``docs/checkpoint-format.md``).
     results:
         Stream step records to this path (``.jsonl`` appends one JSON object
         per record, anything else gets one JSON document); ``None`` keeps
@@ -130,6 +137,7 @@ class RunSpec:
     checkpoint_every: int = 0
     checkpoint_dir: str = "checkpoints"
     keep_checkpoints: int = 3
+    checkpoint_payload: str = "npz"
     results: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -142,6 +150,11 @@ class RunSpec:
                 raise ValueError(f"n_steps must be positive, got {self.n_steps}")
         self.measure_every = max(1, int(self.measure_every))
         self.checkpoint_every = max(0, int(self.checkpoint_every))
+        if self.checkpoint_payload not in PAYLOAD_FORMATS:
+            raise ValueError(
+                f"checkpoint_payload must be one of {PAYLOAD_FORMATS}, "
+                f"got {self.checkpoint_payload!r}"
+            )
         if isinstance(self.observables, str):
             # tuple("sample") would silently become six one-letter names.
             self.observables = (self.observables,)

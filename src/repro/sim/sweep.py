@@ -36,6 +36,13 @@ one combined JSONL/JSON document through a
 checkpoint/resume machinery, a resumed sweep skips completed points,
 continues interrupted ones float-for-float, and produces a combined document
 bitwise identical to an uninterrupted sweep's.
+
+An optional *aggregation hook* — ``Sweep(spec, aggregate=fn)`` — reduces each
+point's record stream to one summary row (e.g. the final energy) that lands
+in the combined document alongside the step records, tagged
+``{"point": name, "summary": {...}}``.  Aggregation runs in the parent
+process during the merge, in expansion order, so summary rows are as
+deterministic as the records themselves (see ``docs/cli.md``).
 """
 
 from __future__ import annotations
@@ -54,6 +61,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.sim.io import (
     FORMAT_VERSION,
+    PAYLOAD_INLINE,
     atomic_write_json,
     canonical_json,
     check_payload,
@@ -75,6 +83,11 @@ MANIFEST_FILENAME = "manifest.json"
 #: A sweep progress event: ``{"event": "started"|"finished", "point": name,
 #: "status": ..., ...}``.
 SweepProgress = Callable[[Dict[str, Any]], None]
+
+#: An aggregation hook: ``fn(point, records) -> row`` reducing one completed
+#: point's step records to a flat JSON-serializable summary dict (or ``None``
+#: for no row).
+SweepAggregate = Callable[["SweepPoint", List[Dict[str, Any]]], Optional[Dict[str, Any]]]
 
 
 def derive_point_seed(root_seed: Optional[int], index: int) -> Optional[int]:
@@ -425,10 +438,21 @@ class Sweep:
     spec:
         A :class:`SweepSpec` (or plain dict parsed with
         :meth:`SweepSpec.from_dict`).
+    aggregate:
+        Optional per-point summary callable ``fn(point, records) -> dict``
+        (or ``None`` for no row).  Called once per point — in expansion
+        order, in the parent process — while the combined results document
+        is merged; each returned row is appended to the combined document as
+        ``{"point": point.name, "summary": row}``.
     """
 
-    def __init__(self, spec: Union[SweepSpec, Dict[str, Any]]) -> None:
+    def __init__(
+        self,
+        spec: Union[SweepSpec, Dict[str, Any]],
+        aggregate: Optional[SweepAggregate] = None,
+    ) -> None:
         self.spec = spec if isinstance(spec, SweepSpec) else SweepSpec.from_dict(spec)
+        self.aggregate = aggregate
         self._entries: Dict[str, Dict[str, Any]] = {}
         self._stop_requested = False
         self._stop_event = None
@@ -489,6 +513,7 @@ class Sweep:
                 "index": point.index,
                 "overrides": dict(point.overrides),
                 "seed": point.payload.get("seed"),
+                "payload": point.spec.checkpoint_payload,
                 "status": STATUS_PENDING,
                 "final_step": None,
                 "error": None,
@@ -526,6 +551,15 @@ class Sweep:
             entry = dict(entry)
             if entry.get("status") == STATUS_DONE and not os.path.exists(point.results_path):
                 entry["status"] = STATUS_PENDING  # results lost: run it again
+            if entry.get("status") == STATUS_DONE:
+                # Never re-run: keep the format its artifacts were written in.
+                # Pre-payload-era manifests could only have written inline.
+                entry.setdefault("payload", PAYLOAD_INLINE)
+            else:
+                # Will (re)run this session: record the format it writes now.
+                # A different format in the old manifest is not a mismatch —
+                # resume reads whatever format the checkpoints are in.
+                entry["payload"] = point.spec.checkpoint_payload
             entries[point.name] = entry
         return entries
 
@@ -805,14 +839,20 @@ class Sweep:
 
         Always written in expansion order from the per-point results files,
         so serial, parallel and resumed sweeps produce byte-identical
-        documents.
+        documents.  The aggregation hook (if any) runs here, appending one
+        summary row right after each point's records.
         """
         path = self.spec.combined_results_path
         sink = SweepSink(make_sink(path))
         sink.open()
         try:
             for point in points:
-                sink.write_point(point.name, _read_point_records(point.results_path))
+                records = _read_point_records(point.results_path)
+                sink.write_point(point.name, records)
+                if self.aggregate is not None:
+                    row = self.aggregate(point, records)
+                    if row is not None:
+                        sink.write_summary(point.name, row)
         finally:
             sink.close()
         return path, sink.records
@@ -827,7 +867,8 @@ def run_sweep(
     spec: Union[SweepSpec, Dict[str, Any]],
     jobs: Optional[int] = None,
     resume: bool = False,
+    aggregate: Optional[SweepAggregate] = None,
     **kwargs,
 ) -> SweepResult:
     """One-call convenience: build a :class:`Sweep` and run it."""
-    return Sweep(spec).run(jobs=jobs, resume=resume, **kwargs)
+    return Sweep(spec, aggregate=aggregate).run(jobs=jobs, resume=resume, **kwargs)

@@ -25,7 +25,14 @@ from typing import Any, Dict, List, Optional, Type
 
 import numpy as np
 
-from repro.sim.io import FORMAT_VERSION, SerializationError, peps_to_dict, peps_from_dict
+from repro.sim.io import (
+    FORMAT_VERSION,
+    SUPPORTED_FORMAT_VERSIONS,
+    PayloadStore,
+    SerializationError,
+    peps_from_dict,
+    peps_to_dict,
+)
 from repro.sim.spec import RunSpec
 from repro.utils.rng import derive_rng
 
@@ -104,16 +111,27 @@ class Workload(abc.ABC):
     # Checkpoint contract
     # ------------------------------------------------------------------ #
     @abc.abstractmethod
-    def state_to_dict(self) -> Dict[str, Any]:
-        """Serialize everything ``step`` depends on (bitwise round trip)."""
+    def state_to_dict(self, store: Optional[PayloadStore] = None) -> Dict[str, Any]:
+        """Serialize everything ``step`` depends on (bitwise round trip).
+
+        Tensor payloads must be encoded through ``store`` (when given) so
+        the checkpoint's payload format — inline base64 or npz sidecar —
+        is the store's choice, not the workload's.
+        """
 
     @abc.abstractmethod
-    def restore_state(self, payload: Dict[str, Any]) -> None:
-        """Restore from :meth:`state_to_dict` output (after :meth:`setup`)."""
+    def restore_state(
+        self, payload: Dict[str, Any], store: Optional[PayloadStore] = None
+    ) -> None:
+        """Restore from :meth:`state_to_dict` output (after :meth:`setup`).
+
+        ``store`` resolves the payload's tensor references (see
+        :func:`repro.sim.io.open_payload_store`).
+        """
 
     def _check_state(self, payload: Dict[str, Any]) -> None:
         version = payload.get("format_version")
-        if version != FORMAT_VERSION:
+        if version not in SUPPORTED_FORMAT_VERSIONS:
             raise SerializationError(
                 f"unsupported workload state version {version!r}"
             )
@@ -195,16 +213,18 @@ class ITEWorkload(Workload):
     def summary(self) -> Dict[str, Any]:
         return {"final_max_bond": self.state.max_bond_dimension()}
 
-    def state_to_dict(self) -> Dict[str, Any]:
+    def state_to_dict(self, store: Optional[PayloadStore] = None) -> Dict[str, Any]:
         return {
             "format_version": FORMAT_VERSION,
             "workload": self.name,
-            "peps": peps_to_dict(self.state, include_environment=True),
+            "peps": peps_to_dict(self.state, include_environment=True, store=store),
         }
 
-    def restore_state(self, payload: Dict[str, Any]) -> None:
+    def restore_state(
+        self, payload: Dict[str, Any], store: Optional[PayloadStore] = None
+    ) -> None:
         self._check_state(payload)
-        self.state = peps_from_dict(payload["peps"], backend=self.spec.backend)
+        self.state = peps_from_dict(payload["peps"], backend=self.spec.backend, store=store)
         if self.state.environment is None:
             self.state.attach_environment(self.ite.contract_option)
 
@@ -281,7 +301,7 @@ class VQEWorkload(Workload):
             "converged": self.converged,
         }
 
-    def state_to_dict(self) -> Dict[str, Any]:
+    def state_to_dict(self, store: Optional[PayloadStore] = None) -> Dict[str, Any]:
         return {
             "format_version": FORMAT_VERSION,
             "workload": self.name,
@@ -292,7 +312,9 @@ class VQEWorkload(Workload):
             "converged": self.converged,
         }
 
-    def restore_state(self, payload: Dict[str, Any]) -> None:
+    def restore_state(
+        self, payload: Dict[str, Any], store: Optional[PayloadStore] = None
+    ) -> None:
         self._check_state(payload)
         self.parameters = np.asarray(
             [float.fromhex(value) for value in payload["parameters"]], dtype=float
@@ -375,13 +397,15 @@ class RQCAmplitudeWorkload(Workload):
     def summary(self) -> Dict[str, Any]:
         return {"n_gates": len(self.circuit.gates)}
 
-    def state_to_dict(self) -> Dict[str, Any]:
+    def state_to_dict(self, store: Optional[PayloadStore] = None) -> Dict[str, Any]:
         return {
             "format_version": FORMAT_VERSION,
             "workload": self.name,
-            "peps": peps_to_dict(self.state, include_environment=False),
+            "peps": peps_to_dict(self.state, include_environment=False, store=store),
         }
 
-    def restore_state(self, payload: Dict[str, Any]) -> None:
+    def restore_state(
+        self, payload: Dict[str, Any], store: Optional[PayloadStore] = None
+    ) -> None:
         self._check_state(payload)
-        self.state = peps_from_dict(payload["peps"], backend=self.spec.backend)
+        self.state = peps_from_dict(payload["peps"], backend=self.spec.backend, store=store)

@@ -219,8 +219,11 @@ class TestCTMCheckpoint:
         resumed_sim = Simulation(spec)
         resumed_sim.workload.setup()
         import repro.sim.io as sim_io
-        checkpoint = sim_io.load_checkpoint(resumed_sim.latest_checkpoint())
-        resumed_sim.workload.restore_state(checkpoint["workload_state"])
+        checkpoint_path = resumed_sim.latest_checkpoint()
+        checkpoint = sim_io.load_checkpoint(checkpoint_path)
+        store = sim_io.open_payload_store(checkpoint, checkpoint_path)
+        resumed_sim.workload.restore_state(checkpoint["workload_state"], store=store)
+        store.close()
         env = resumed_sim.workload.state.environment
         assert isinstance(env, EnvCTM)
         assert env._upper_valid == 2  # caches restored warm

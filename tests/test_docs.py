@@ -1,0 +1,102 @@
+"""Docs anti-rot tests: --help snapshots and markdown link integrity.
+
+``docs/cli.md`` embeds the CLI's real ``--help`` output inside fenced blocks
+tagged ``<!-- help-snapshot: NAME -->``; this module regenerates each help
+text at a fixed 80-column width and fails on any drift, so the CLI
+reference cannot silently fall out of date.  A second set of tests walks
+every markdown link in README.md and docs/ and asserts relative targets
+exist.
+"""
+
+import os
+import re
+
+import pytest
+
+from repro.sim.__main__ import (
+    EXIT_FAILED_POINTS,
+    EXIT_INTERRUPTED,
+    EXIT_SIGNALED,
+    build_parser,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DOCS_DIR = os.path.join(REPO_ROOT, "docs")
+CLI_DOC = os.path.join(DOCS_DIR, "cli.md")
+
+SNAPSHOT_RE = re.compile(
+    r"<!--\s*help-snapshot:\s*(?P<name>[\w-]+)\s*-->\s*\n```text\n(?P<body>.*?)```",
+    re.DOTALL,
+)
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def read(path):
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def help_texts(monkeypatch, capsys):
+    """The parser's help output at the width the docs were generated at."""
+    monkeypatch.setenv("COLUMNS", "80")
+    out = {"main": build_parser().format_help()}
+    for name in ("run", "sweep"):
+        # Public argparse behavior: `<cmd> --help` prints and exits 0.
+        with pytest.raises(SystemExit) as exit_info:
+            build_parser().parse_args([name, "--help"])
+        assert exit_info.value.code == 0
+        out[name] = capsys.readouterr().out
+    return out
+
+
+class TestHelpSnapshots:
+    def test_doc_snapshots_match_parser(self, monkeypatch, capsys):
+        """Every tagged block in docs/cli.md equals the real --help output."""
+        snapshots = {
+            m.group("name"): m.group("body") for m in SNAPSHOT_RE.finditer(read(CLI_DOC))
+        }
+        assert set(snapshots) == {"main", "run", "sweep"}
+        for name, expected in help_texts(monkeypatch, capsys).items():
+            assert snapshots[name].rstrip("\n") == expected.rstrip("\n"), (
+                f"docs/cli.md help-snapshot {name!r} is stale; regenerate with "
+                f"COLUMNS=80 python -m repro.sim {'' if name == 'main' else name} --help"
+            )
+
+    def test_documented_exit_codes_match_cli_constants(self):
+        text = read(CLI_DOC)
+        for code in (EXIT_FAILED_POINTS, EXIT_INTERRUPTED, EXIT_SIGNALED):
+            assert f"| {code} |" in text, f"exit code {code} missing from docs/cli.md"
+
+
+class TestMarkdownLinks:
+    def doc_files(self):
+        files = [os.path.join(REPO_ROOT, "README.md")]
+        files.extend(
+            os.path.join(DOCS_DIR, name)
+            for name in sorted(os.listdir(DOCS_DIR))
+            if name.endswith(".md")
+        )
+        return files
+
+    def test_docs_directory_is_populated(self):
+        names = {os.path.basename(p) for p in self.doc_files()}
+        assert {"checkpoint-format.md", "cli.md", "architecture.md"} <= names
+
+    def test_relative_links_resolve(self):
+        broken = []
+        for path in self.doc_files():
+            base = os.path.dirname(path)
+            for target in LINK_RE.findall(read(path)):
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                target = target.split("#", 1)[0]
+                if not target:  # pure in-page anchor
+                    continue
+                if not os.path.exists(os.path.normpath(os.path.join(base, target))):
+                    broken.append(f"{os.path.relpath(path, REPO_ROOT)} -> {target}")
+        assert broken == [], f"broken markdown links: {broken}"
+
+    def test_readme_links_every_doc_page(self):
+        readme = read(os.path.join(REPO_ROOT, "README.md"))
+        for name in ("docs/checkpoint-format.md", "docs/cli.md", "docs/architecture.md"):
+            assert name in readme, f"README.md does not link {name}"

@@ -329,6 +329,21 @@ class TestSinks:
         ]
         assert sweep_sink.records == lines
 
+    def test_sweep_sink_summary_rows_are_nested(self, tmp_path):
+        """Aggregated rows go under a "summary" key so they can never collide
+        with step-record fields."""
+        path = tmp_path / "combined.jsonl"
+        sweep_sink = SweepSink(make_sink(path))
+        sweep_sink.open()
+        sweep_sink.write_point("a", [{"step": 1, "energy": 0.5}])
+        sweep_sink.write_summary("a", {"final_energy": 0.5, "step": "not-a-step"})
+        sweep_sink.close()
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines == [
+            {"point": "a", "step": 1, "energy": 0.5},
+            {"point": "a", "summary": {"final_energy": 0.5, "step": "not-a-step"}},
+        ]
+
 
 class TestResumeReproducibility:
     def test_ite_resume_matches_uninterrupted(self, tmp_path):

@@ -403,3 +403,102 @@ class TestSweepCLI:
                            "--results", "out.jsonl", "--resume")
         assert resumed.returncode == 0, resumed.stderr
         assert read_bytes(tmp_path / "out.jsonl") == read_bytes(tmp_path / "ref.jsonl")
+
+
+class TestAggregation:
+    @staticmethod
+    def final_energy(point, records):
+        return {
+            "rank": point.overrides.get("update.rank"),
+            "final_energy": records[-1]["energy"],
+            "n_records": len(records),
+        }
+
+    def test_summary_rows_land_in_combined_document(self, tmp_path):
+        spec = sweep_spec(tmp_path)
+        result = Sweep(spec, aggregate=self.final_energy).run()
+        assert result.completed
+        names = [p.name for p in spec.expand()]
+        summaries = [r for r in result.records if "summary" in r]
+        steps = [r for r in result.records if "summary" not in r]
+        assert [r["point"] for r in summaries] == names  # expansion order
+        assert len(steps) == len(names) * BASE["n_steps"]
+        # Each summary row directly follows its point's step records.
+        for name, row in zip(names, summaries):
+            point_steps = [r for r in steps if r["point"] == name]
+            assert row["summary"]["final_energy"] == point_steps[-1]["energy"]
+            assert row["summary"]["n_records"] == BASE["n_steps"]
+            index = result.records.index(row)
+            assert result.records[index - 1] == point_steps[-1]
+        # The on-disk combined document carries the same rows.
+        lines = [json.loads(l) for l in open(result.combined_path)]
+        assert lines == result.records
+
+    def test_aggregate_none_row_is_skipped(self, tmp_path):
+        spec = sweep_spec(tmp_path)
+        keep = [p.name for p in spec.expand()][:1]
+        result = Sweep(
+            spec,
+            aggregate=lambda point, records: (
+                {"final_energy": records[-1]["energy"]} if point.name in keep else None
+            ),
+        ).run()
+        summaries = [r for r in result.records if "summary" in r]
+        assert [r["point"] for r in summaries] == keep
+
+    def test_resumed_sweep_reproduces_summary_rows(self, tmp_path):
+        reference = Sweep(
+            sweep_spec(tmp_path, "ref"), aggregate=self.final_energy
+        ).run()
+        spec = sweep_spec(tmp_path, "int")
+        interrupted = Sweep(spec, aggregate=self.final_energy).run(
+            stop_after_points=2
+        )
+        assert interrupted.interrupted
+        resumed = Sweep(
+            sweep_spec(tmp_path, "int"), aggregate=self.final_energy
+        ).run(resume=True)
+        assert resumed.completed
+        assert resumed.records == reference.records
+
+    def test_run_sweep_passes_aggregate(self, tmp_path):
+        result = run_sweep(sweep_spec(tmp_path), aggregate=self.final_energy)
+        assert sum(1 for r in result.records if "summary" in r) == 4
+
+
+class TestManifestPayloadFormat:
+    def test_manifest_records_per_point_payload_format(self, tmp_path):
+        spec = sweep_spec(tmp_path)
+        result = Sweep(spec).run()
+        manifest = Sweep.load_manifest(result.manifest_path)
+        assert [p["payload"] for p in manifest["points"]] == ["npz"] * 4
+
+    def test_resume_preserves_done_points_recorded_format(self, tmp_path):
+        """Done points are never re-run on resume, so their manifest entry
+        keeps the payload format their artifacts were actually written in;
+        only points that (re)run record the new session's format."""
+        inline_spec = sweep_spec(
+            tmp_path, base=dict(BASE, checkpoint_payload="inline")
+        )
+        interrupted = Sweep(inline_spec).run(stop_after_points=2)
+        assert interrupted.interrupted
+        done = {n for n, s in interrupted.statuses.items() if s == STATUS_DONE}
+        assert done
+
+        npz_spec = sweep_spec(tmp_path, base=dict(BASE, checkpoint_payload="npz"))
+        result = Sweep(npz_spec).run(resume=True)
+        assert result.completed
+        manifest = Sweep.load_manifest(result.manifest_path)
+        for point in manifest["points"]:
+            expected = "inline" if point["name"] in done else "npz"
+            assert point["payload"] == expected, point
+
+    def test_payload_override_axis_lands_in_manifest(self, tmp_path):
+        spec = sweep_spec(
+            tmp_path,
+            axes={"checkpoint_payload": ["inline", "npz"]},
+        )
+        result = Sweep(spec).run()
+        assert result.completed
+        manifest = Sweep.load_manifest(result.manifest_path)
+        assert [p["payload"] for p in manifest["points"]] == ["inline", "npz"]
