@@ -22,8 +22,16 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
-from repro.backends.interface import Backend
-from repro.backends.numpy_backend import NumPyBackend
+from repro.backends.interface import (
+    Backend,
+    parse_batched_subscripts,
+    rewrite_batched_subscripts,
+)
+from repro.backends.numpy_backend import (
+    NumPyBackend,
+    clear_path_caches,
+    path_cache_stats,
+)
 
 
 def get_backend(backend: Union[str, Backend, None] = "numpy", **kwargs) -> Backend:
@@ -64,4 +72,12 @@ def get_backend(backend: Union[str, Backend, None] = "numpy", **kwargs) -> Backe
     )
 
 
-__all__ = ["Backend", "NumPyBackend", "get_backend"]
+__all__ = [
+    "Backend",
+    "NumPyBackend",
+    "clear_path_caches",
+    "get_backend",
+    "parse_batched_subscripts",
+    "path_cache_stats",
+    "rewrite_batched_subscripts",
+]

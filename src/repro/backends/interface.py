@@ -14,13 +14,80 @@ standard arithmetic operators (``+``, ``-``, ``*`` with scalars) and expose
 from __future__ import annotations
 
 import abc
-from typing import Any, Optional, Sequence, Tuple
+import string
+from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.utils.rng import SeedLike, ensure_rng
 
 Tensor = Any  # backend-native tensor object
+
+
+def parse_batched_subscripts(
+    subscripts: str, shapes: Sequence[Tuple[int, ...]]
+) -> Tuple[List[str], str, List[int], int]:
+    """Validate a batched einsum call and describe its batch structure.
+
+    ``subscripts`` is a *plain* (non-batched, explicit ``->``) einsum string;
+    every operand carries one extra **leading batch axis** of size ``B`` or
+    ``1`` (size-1 axes broadcast against the batch).  Returns
+    ``(input_specs, output_spec, batch_dims, B)``.
+    """
+    if "->" not in subscripts:
+        raise ValueError(
+            f"einsum_batched needs an explicit output ('->') in {subscripts!r}"
+        )
+    if "." in subscripts:
+        raise ValueError("einsum_batched does not support ellipsis subscripts")
+    lhs, output = subscripts.split("->")
+    inputs = lhs.split(",")
+    if len(inputs) != len(shapes):
+        raise ValueError(
+            f"{len(inputs)} subscript groups but {len(shapes)} operands"
+        )
+    batch_dims: List[int] = []
+    for spec, shape in zip(inputs, shapes):
+        if len(shape) != len(spec) + 1:
+            raise ValueError(
+                f"operand for {spec!r} must have a leading batch axis: expected "
+                f"{len(spec) + 1} modes, got shape {tuple(shape)}"
+            )
+        batch_dims.append(int(shape[0]))
+    batch = 1
+    for dim in batch_dims:
+        if dim != 1:
+            if batch != 1 and dim != batch:
+                raise ValueError(
+                    f"incompatible batch sizes {batch_dims} for {subscripts!r}"
+                )
+            batch = dim
+    return inputs, output, batch_dims, batch
+
+
+def rewrite_batched_subscripts(
+    subscripts: str, batch_dims: Sequence[int]
+) -> Tuple[str, str]:
+    """Insert a batch label into a plain einsum string.
+
+    Operands whose batch axis has size > 1 get the label prepended; size-1
+    axes are expected to be squeezed away by the caller.  The output always
+    gets the label (callers with an all-broadcast batch skip the rewrite).
+    Returns ``(rewritten_subscripts, batch_label)``.
+    """
+    lhs, output = subscripts.split("->")
+    inputs = lhs.split(",")
+    used = set(subscripts)
+    label = next((c for c in string.ascii_letters if c not in used), None)
+    if label is None:
+        raise ValueError(
+            f"no free subscript letter left to batch {subscripts!r}"
+        )
+    new_inputs = [
+        label + spec if dim != 1 else spec
+        for spec, dim in zip(inputs, batch_dims)
+    ]
+    return ",".join(new_inputs) + "->" + label + output, label
 
 
 class Backend(abc.ABC):
@@ -101,6 +168,32 @@ class Backend(abc.ABC):
     @abc.abstractmethod
     def einsum(self, subscripts: str, *operands: Tensor) -> Tensor:
         """Einstein-summation contraction of one or more tensors."""
+
+    def einsum_batched(self, subscripts: str, *operands: Tensor) -> Tensor:
+        """Batched einsum: one contraction applied in lockstep across a batch.
+
+        ``subscripts`` is a plain einsum string with an explicit output; every
+        operand carries one extra *leading batch axis* of size ``B`` or ``1``
+        (size-1 batch axes broadcast).  The result has shape
+        ``(B, *item_shape)`` and item ``i`` equals
+        ``einsum(subscripts, *[op[min(i, b_op - 1)] for op])`` up to round-off.
+
+        Concrete backends override this with a single fused call (the NumPy
+        backend plans one batch-aware cached path; the distributed backend
+        charges the whole batch as *one* contraction, amortizing latency and
+        message costs across items).  This default implementation is the
+        semantic reference: loop over the batch and stack.
+        """
+        shapes = [self.shape(op) for op in operands]
+        _, _, batch_dims, batch = parse_batched_subscripts(subscripts, shapes)
+        items = []
+        for i in range(batch):
+            sliced = [
+                self.astensor(self.asarray(op)[0 if dim == 1 else i])
+                for op, dim in zip(operands, batch_dims)
+            ]
+            items.append(self.asarray(self.einsum(subscripts, *sliced)))
+        return self.astensor(np.stack(items, axis=0))
 
     @abc.abstractmethod
     def tensordot(self, a: Tensor, b: Tensor, axes) -> Tensor:

@@ -19,7 +19,11 @@ from typing import Any, Optional, Sequence, Tuple
 import numpy as np
 import scipy.linalg
 
-from repro.backends.interface import Backend
+from repro.backends.interface import (
+    Backend,
+    parse_batched_subscripts,
+    rewrite_batched_subscripts,
+)
 from repro.utils.flops import (
     FlopCounter,
     eigh_flops,
@@ -105,6 +109,40 @@ class NumPyBackend(Backend):
                 volume = float(np.prod([max(op.size, 1) for op in operands]))
                 flops = 8.0 * volume
             self.flop_counter.add("einsum", flops)
+        return result
+
+    def einsum_batched(self, subscripts: str, *operands: np.ndarray) -> np.ndarray:
+        """One fused ``np.einsum`` over the whole batch with a cached path.
+
+        Operands whose batch axis has size 1 are squeezed and treated as
+        unbatched (the path planner then sees them as shared factors instead
+        of broadcast copies); the rest share one extra batch label.  The
+        rewritten subscripts reuse the same LRU path cache as :meth:`einsum`,
+        so lockstep hot loops plan each (subscripts, shapes) combination once.
+        """
+        shapes = [tuple(int(s) for s in op.shape) for op in operands]
+        _, _, batch_dims, batch = parse_batched_subscripts(subscripts, shapes)
+        if batch == 1:
+            squeezed = [op.reshape(op.shape[1:]) for op in operands]
+            result = self.einsum(subscripts, *squeezed)
+            return result[np.newaxis, ...]
+        batched_subscripts, _ = rewrite_batched_subscripts(subscripts, batch_dims)
+        ops = [
+            op.reshape(op.shape[1:]) if dim == 1 else op
+            for op, dim in zip(operands, batch_dims)
+        ]
+        op_shapes = tuple(tuple(int(s) for s in op.shape) for op in ops)
+        result = np.einsum(
+            batched_subscripts,
+            *ops,
+            optimize=_cached_einsum_path(batched_subscripts, op_shapes),
+        )
+        if self.flop_counter is not None:
+            flops = _cached_einsum_flops(batched_subscripts, op_shapes)
+            if flops is None:
+                volume = float(np.prod([max(op.size, 1) for op in ops]))
+                flops = 8.0 * volume
+            self.flop_counter.add("einsum_batched", flops)
         return result
 
     def tensordot(self, a: np.ndarray, b: np.ndarray, axes) -> np.ndarray:
@@ -209,6 +247,31 @@ def _cached_einsum_flops(
         return float(info.total_flops)
     except ValueError:
         return None
+
+
+def path_cache_stats() -> dict:
+    """Hit/miss/size counters of the einsum path and flop-estimate caches.
+
+    Benchmarks read these to report how well repeated hot-loop contractions
+    amortize their path planning (a lockstep sampler should show almost-all
+    hits after the first site of the first row).
+    """
+    path = _cached_einsum_path.cache_info()
+    flops = _cached_einsum_flops.cache_info()
+    return {
+        "path": {"hits": path.hits, "misses": path.misses, "size": path.currsize},
+        "flops": {"hits": flops.hits, "misses": flops.misses, "size": flops.currsize},
+    }
+
+
+def clear_path_caches() -> None:
+    """Drop every cached einsum path and flop estimate (and their counters).
+
+    Call between benchmark measurements so path-planning cost and cache-hit
+    counts are attributed to the measured phase, reproducibly across runs.
+    """
+    _cached_einsum_path.cache_clear()
+    _cached_einsum_flops.cache_clear()
 
 
 def _normalize_tensordot_axes(ndim_a: int, axes) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:

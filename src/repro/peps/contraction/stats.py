@@ -13,11 +13,22 @@ absorption of a lattice row into an edge-tensor boundary, truncated with
 corner-Gram projectors (see :mod:`repro.peps.envs.ctm`).  Every CTM move also
 counts as one row absorption, so the shared ``row_absorptions`` counter stays
 comparable across environment implementations.
+
+A *batched contraction* is one lockstep ``einsum_batched`` call covering a
+whole shot batch (see :mod:`repro.peps.envs.sampling`); a *strip cache hit*
+is one observable term served from an already-built column environment of a
+row strip (see :class:`repro.peps.envs.strip.StripCache`).  Both measure how
+much per-item work the batched contraction engine amortizes.
 """
 
 from __future__ import annotations
 
-_COUNTS = {"row_absorptions": 0, "ctm_moves": 0}
+_COUNTS = {
+    "row_absorptions": 0,
+    "ctm_moves": 0,
+    "batched_contractions": 0,
+    "strip_cache_hits": 0,
+}
 
 
 def count_row_absorption(n: int = 1) -> None:
@@ -46,3 +57,31 @@ def ctm_move_count() -> int:
 
 def reset_ctm_move_count() -> None:
     _COUNTS["ctm_moves"] = 0
+
+
+def count_batched_contraction(n: int = 1) -> None:
+    """Record ``n`` lockstep ``einsum_batched`` calls."""
+    _COUNTS["batched_contractions"] += n
+
+
+def batched_contraction_count() -> int:
+    """Total lockstep batched contractions since reset."""
+    return _COUNTS["batched_contractions"]
+
+
+def reset_batched_contraction_count() -> None:
+    _COUNTS["batched_contractions"] = 0
+
+
+def count_strip_cache_hit(n: int = 1) -> None:
+    """Record ``n`` strip-environment cache hits."""
+    _COUNTS["strip_cache_hits"] += n
+
+
+def strip_cache_hit_count() -> int:
+    """Total observable terms served from cached strip column environments."""
+    return _COUNTS["strip_cache_hits"]
+
+
+def reset_strip_cache_hit_count() -> None:
+    _COUNTS["strip_cache_hits"] = 0

@@ -163,6 +163,46 @@ def _absorb_row_zipup(
     return new_boundary
 
 
+def absorb_sandwich_row_batched(
+    backend: Union[str, Backend, None],
+    boundary: Sequence,
+    ket_row: Sequence,
+    bra_row: Sequence,
+) -> List:
+    """Exactly absorb one (ket ⊗ bra*) row into a *batch* of boundary MPSes.
+
+    The batched counterpart of :func:`absorb_sandwich_row` for the exact
+    (untruncated) case: every tensor carries a leading batch axis (size ``S``
+    or broadcastable ``1``), and each column is absorbed with one
+    ``einsum_batched`` call instead of ``S`` separate einsums.  The lockstep
+    sampler uses this to grow all per-shot upper boundaries at once; each
+    batch item still counts as one row absorption so the global work counter
+    stays comparable with the serial path.
+
+    Truncated (zip-up) absorptions are inherently per-item — their SVDs have
+    data-dependent factors — and stay with :func:`absorb_sandwich_row`.
+    """
+    backend = get_backend(backend)
+    ncol = len(boundary)
+    if len(ket_row) != ncol or len(bra_row) != ncol:
+        raise ValueError(
+            f"row width mismatch: boundary has {ncol} columns, "
+            f"ket {len(ket_row)}, bra {len(bra_row)}"
+        )
+    batch = max(
+        max(backend.shape(t)[0] for t in boundary),
+        max(backend.shape(t)[0] for t in ket_row),
+    )
+    count_row_absorption(batch)
+    bra_row = [backend.conj(t) for t in bra_row]
+    new_boundary = []
+    for b, k, w in zip(boundary, ket_row, bra_row):
+        merged = backend.einsum_batched("aghi,pgemo,phfqs->aefmqios", b, k, w)
+        s, a, e, f, m, q, i, o, srt = backend.shape(merged)
+        new_boundary.append(backend.reshape(merged, (s, a * e * f, m, q, i * o * srt)))
+    return new_boundary
+
+
 def close_boundaries(backend: Union[str, Backend, None], upper: Sequence, lower: Sequence) -> complex:
     """Contract an upper and a lower boundary over their physical legs.
 

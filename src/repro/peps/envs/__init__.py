@@ -31,7 +31,7 @@ from repro.peps.envs.boundary_mps import EnvBoundaryMPS, make_environment
 from repro.peps.envs.ctm import EnvCTM, corner_grams, ctm_renormalize
 from repro.peps.envs.exact import EnvExact
 from repro.peps.envs.sampling import sample_bitstrings
-from repro.peps.envs.strip import operator_pieces, strip_value
+from repro.peps.envs.strip import StripCache, operator_pieces, strip_value
 
 __all__ = [
     "Environment",
@@ -44,6 +44,7 @@ __all__ = [
     "option_signature",
     "local_terms",
     "sample_bitstrings",
+    "StripCache",
     "operator_pieces",
     "strip_value",
     "corner_grams",

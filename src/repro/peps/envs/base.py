@@ -40,6 +40,14 @@ class EnvStats:
     ``ctm_moves`` counts the corner-transfer-matrix moves of
     :class:`~repro.peps.envs.ctm.EnvCTM` (each move also counts as one row
     absorption, keeping the shared counter comparable across environments).
+
+    The batched-engine counters: ``batched_contractions`` is the number of
+    lockstep ``einsum_batched`` calls issued by the multi-shot sampler (each
+    replaces up to ``nshots`` serial einsums), ``uniform_fallbacks`` counts
+    site draws whose truncated weight vanished and fell back to the uniform
+    distribution, and ``strip_cache_hits`` / ``strip_cache_misses`` count
+    observable terms served from (resp. forcing a build of) cached column
+    environments of a row strip.
     """
 
     row_absorptions: int = 0
@@ -47,6 +55,10 @@ class EnvStats:
     invalidations: int = 0
     norm_evaluations: int = 0
     ctm_moves: int = 0
+    batched_contractions: int = 0
+    uniform_fallbacks: int = 0
+    strip_cache_hits: int = 0
+    strip_cache_misses: int = 0
 
     def reset(self) -> None:
         self.row_absorptions = 0
@@ -54,6 +66,10 @@ class EnvStats:
         self.invalidations = 0
         self.norm_evaluations = 0
         self.ctm_moves = 0
+        self.batched_contractions = 0
+        self.uniform_fallbacks = 0
+        self.strip_cache_hits = 0
+        self.strip_cache_misses = 0
 
 
 def local_terms(observable) -> List[Tuple[Tuple[int, ...], np.ndarray]]:
@@ -154,5 +170,13 @@ class Environment(abc.ABC):
         """
 
     @abc.abstractmethod
-    def sample(self, rng=None, nshots: int = 1) -> np.ndarray:
-        """Draw computational-basis samples ``~ |<b|psi>|^2 / <psi|psi>``."""
+    def sample(
+        self, rng=None, nshots: int = 1, batch_shots: Optional[int] = None
+    ) -> np.ndarray:
+        """Draw computational-basis samples ``~ |<b|psi>|^2 / <psi|psi>``.
+
+        ``batch_shots`` bounds how many shots the sampler advances in lockstep
+        per batched contraction (``None``: all of them, ``1``: the serial
+        reference path).  The sampled bits are identical either way — only the
+        contraction grouping changes.
+        """

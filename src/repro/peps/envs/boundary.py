@@ -23,14 +23,24 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.peps.contraction.options import BMPS, ContractOption, CTMOption, Exact
+from repro.peps.contraction.stats import (
+    count_batched_contraction,
+    count_strip_cache_hit,
+)
 from repro.peps.contraction.two_layer import (
     absorb_sandwich_row,
+    absorb_sandwich_row_batched,
     close_boundaries,
     trivial_boundary,
 )
 from repro.peps.envs.base import Environment, EnvStats, local_terms
 from repro.peps.envs.sampling import sample_bitstrings
-from repro.peps.envs.strip import site_density, strip_value, transfer_left, transfer_right
+from repro.peps.envs.strip import (
+    StripCache,
+    site_density,
+    transfer_left,
+    transfer_right,
+)
 from repro.tensornetwork.einsumsvd import EinsumSVDOption
 
 
@@ -64,6 +74,27 @@ def _svd_signature(svd_option: Optional[EinsumSVDOption], max_bond: Optional[int
         getattr(svd_option, "niter", None),
         getattr(svd_option, "oversample", None),
         getattr(svd_option, "seed", None),
+    )
+
+
+def _batch_size(backend, *tensor_lists) -> int:
+    """The shot count of batched boundary tensors (leading dims are it or 1)."""
+    return max(
+        backend.shape(t)[0] for tensors in tensor_lists for t in tensors
+    )
+
+
+def _batch_item(backend, tensor, index: int):
+    """Slice one shot out of a batched tensor (batch-1 tensors broadcast)."""
+    arr = backend.asarray(tensor)
+    item = arr[0 if backend.shape(tensor)[0] == 1 else index]
+    return backend.astensor(np.asarray(item))
+
+
+def _stack(backend, tensors):
+    """Restack per-shot tensors along a new leading batch axis."""
+    return backend.astensor(
+        np.stack([np.asarray(backend.asarray(t)) for t in tensors])
     )
 
 
@@ -250,6 +281,7 @@ class BoundaryEnvironment(Environment):
         # terms; avoid forcing a full top sweep for unnormalized local sums.
         norm_sq = self.norm_sq() if normalized else None
         total = 0.0 + 0.0j
+        caches: Dict[Tuple[int, int], StripCache] = {}
         for sites, matrix in terms:
             if len(sites) == 0:
                 if norm_sq is None:
@@ -257,10 +289,9 @@ class BoundaryEnvironment(Environment):
                 total += complex(matrix[0, 0]) * norm_sq
                 continue
             r0, r1, _ = self._term_rows(sites)
-            upper = self.ensure_upper(r0)
-            lower = self.ensure_lower(r1)
             self.stats.strip_contractions += 1
-            total += strip_value(self.peps, upper, lower, r0, r1, sites, matrix)
+            total += self._strip_cache(caches, r0, r1).term_value(sites, matrix)
+        self._charge_strip_caches(caches)
         value = total / norm_sq if normalized else total
         return float(np.real(value))
 
@@ -344,24 +375,40 @@ class BoundaryEnvironment(Environment):
 
         norm_sq = self.norm_sq() if normalized else None
         out: Dict[Tuple[int, int], float] = {}
+        caches: Dict[Tuple[int, int], StripCache] = {}
         for pair in pairs:
             sa, sb = int(pair[0]), int(pair[1])
             r0, r1, _ = self._term_rows((sa, sb))
-            upper = self.ensure_upper(r0)
-            lower = self.ensure_lower(r1)
             self.stats.strip_contractions += 1
-            value = strip_value(self.peps, upper, lower, r0, r1, (sa, sb), matrix)
+            value = self._strip_cache(caches, r0, r1).term_value((sa, sb), matrix)
             out[(sa, sb)] = float(np.real(value / norm_sq)) if normalized else value
+        self._charge_strip_caches(caches)
         return out
 
-    def sample(self, rng=None, nshots: int = 1) -> np.ndarray:
+    def sample(
+        self, rng=None, nshots: int = 1, batch_shots: Optional[int] = None
+    ) -> np.ndarray:
         """Basis-state samples via conditional single-layer contractions.
 
         Returns an integer array of shape ``(nshots, n_sites)`` (row-major
         site order).  The cached lower environments are shared by all shots;
-        only the per-shot projected upper boundaries are recomputed.
+        only the per-shot projected upper boundaries are recomputed — in
+        lockstep groups of up to ``batch_shots`` shots when the environment
+        :meth:`supports_lockstep` (``None``: all shots in one group,
+        ``1``: the serial reference path; the bits are identical either way).
         """
-        return sample_bitstrings(self, rng=rng, nshots=nshots)
+        return sample_bitstrings(self, rng=rng, nshots=nshots, batch_shots=batch_shots)
+
+    def supports_lockstep(self) -> bool:
+        """Whether per-shot sampling boundaries keep shot-independent shapes.
+
+        Lockstep batching stacks every shot's boundary into one tensor per
+        column, which requires all shots to share shapes after truncation.
+        Exact and fixed-rank truncations are shape-deterministic; a
+        cutoff-based truncation retains data-dependent ranks, so those
+        environments run the serial sampler.
+        """
+        return self.svd_option is None or self.svd_option.cutoff is None
 
     def absorb_for_sampling(self, upper, projected_row):
         """Absorb one basis-projected row into a per-shot upper boundary.
@@ -380,9 +427,69 @@ class BoundaryEnvironment(Environment):
             backend=self.backend,
         )
 
+    def absorb_for_sampling_batched(self, upper, projected_row):
+        """Absorb one basis-projected row into a whole batch of shot boundaries.
+
+        ``upper`` and ``projected_row`` tensors carry a leading batch axis
+        (shot count or broadcastable 1).  Exact environments absorb the
+        entire batch with one batched contraction per column; truncated ones
+        unstack, absorb each shot with the environment's own zip-up scheme,
+        and restack — valid because :meth:`supports_lockstep` guarantees
+        shot-independent shapes.
+        """
+        b = self.backend
+        batch = _batch_size(b, upper, projected_row)
+        self.stats.row_absorptions += batch
+        if self.svd_option is None:
+            self.stats.batched_contractions += len(upper)
+            count_batched_contraction(len(upper))
+            return absorb_sandwich_row_batched(b, upper, projected_row, projected_row)
+        columns = []
+        for s in range(batch):
+            upper_s = [_batch_item(b, t, s) for t in upper]
+            row_s = [_batch_item(b, t, s) for t in projected_row]
+            columns.append(
+                absorb_sandwich_row(
+                    upper_s,
+                    row_s,
+                    row_s,
+                    option=self.svd_option,
+                    max_bond=self.max_bond,
+                    backend=b,
+                )
+            )
+        return [_stack(b, [columns[s][c] for s in range(batch)]) for c in range(len(upper))]
+
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+    def _strip_cache(
+        self, caches: Dict[Tuple[int, int], "StripCache"], r0: int, r1: int
+    ) -> "StripCache":
+        """The shared column-environment cache of strip ``(r0, r1)`` of one pass.
+
+        Terms on the same rows share left/right traced environments through
+        it, so each additional term only contracts its own column span.
+        """
+        cache = caches.get((r0, r1))
+        if cache is None:
+            upper = self.ensure_upper(r0)
+            lower = self.ensure_lower(r1)
+            cache = StripCache(self.peps, upper, lower, r0, r1)
+            caches[(r0, r1)] = cache
+        return cache
+
+    def _charge_strip_caches(
+        self, caches: Dict[Tuple[int, int], "StripCache"]
+    ) -> None:
+        """Fold one pass's per-strip hit/miss counts into the stats."""
+        hits = sum(cache.hits for cache in caches.values())
+        misses = sum(cache.misses for cache in caches.values())
+        if hits:
+            self.stats.strip_cache_hits += hits
+            count_strip_cache_hit(hits)
+        self.stats.strip_cache_misses += misses
+
     def _term_rows(self, sites: Sequence[int]) -> Tuple[int, int, List[Tuple[int, int]]]:
         positions = [self.peps.site_position(s) for s in sites]
         rows = [r for r, _ in positions]

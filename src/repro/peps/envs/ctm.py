@@ -42,9 +42,12 @@ import numpy as np
 
 from repro.linalg.truncated_svd import truncated_svd
 from repro.peps.contraction.options import ContractOption, CTMOption
-from repro.peps.contraction.stats import count_ctm_move
-from repro.peps.contraction.two_layer import absorb_sandwich_row
-from repro.peps.envs.boundary import BoundaryEnvironment
+from repro.peps.contraction.stats import count_batched_contraction, count_ctm_move
+from repro.peps.contraction.two_layer import (
+    absorb_sandwich_row,
+    absorb_sandwich_row_batched,
+)
+from repro.peps.envs.boundary import BoundaryEnvironment, _batch_size
 
 #: Relative floor under which corner-Gram singular directions are treated as
 #: numerically zero when forming ``S^(-1/2)`` (pseudo-inverse regularization).
@@ -175,6 +178,102 @@ def ctm_renormalize(
     return renormalized, spectra
 
 
+def corner_grams_batched(backend, boundary: Sequence) -> Tuple[List, List, int]:
+    """Batched :func:`corner_grams`: one Gram chain per bond for all shots.
+
+    ``boundary`` tensors carry a leading batch axis; every Gram recursion
+    step is one ``einsum_batched`` call instead of one call per shot.
+    Returns ``(lefts, rights, n_calls)`` with batched ``(batch, bond, bond)``
+    Gram matrices.
+    """
+    ncol = len(boundary)
+    conj = [backend.conj(t) for t in boundary]
+    lefts: List = [None] * ncol
+    rights: List = [None] * ncol
+    calls = 0
+    if ncol < 2:
+        return lefts, rights, calls
+    gram = backend.einsum_batched("aqpr,aqps->rs", boundary[0], conj[0])
+    calls += 1
+    lefts[1] = gram
+    for c in range(1, ncol - 1):
+        gram = backend.einsum_batched("ab,aqpr,bqps->rs", gram, boundary[c], conj[c])
+        calls += 1
+        lefts[c + 1] = gram
+    gram = backend.einsum_batched("aqpr,bqpr->ab", boundary[ncol - 1], conj[ncol - 1])
+    calls += 1
+    rights[ncol - 1] = gram
+    for c in range(ncol - 2, 0, -1):
+        gram = backend.einsum_batched("aqpr,bqps,rs->ab", boundary[c], conj[c], gram)
+        calls += 1
+        rights[c] = gram
+    return lefts, rights, calls
+
+
+def ctm_renormalize_batched(
+    backend,
+    boundary: Sequence,
+    chi: Optional[int],
+    cutoff: Optional[float],
+) -> Tuple[List, int]:
+    """Batched :func:`ctm_renormalize` over a leading shot axis.
+
+    The Gram chains and the projector applications run as batched
+    contractions; only the per-shot ``chi``-sized corner SVDs inside
+    :func:`bond_projectors` stay per-item (they are small dense
+    factorizations, not einsum calls).  Requires a shape-deterministic
+    truncation (``cutoff=None``) so every shot retains the same rank at each
+    bond.  Returns ``(renormalized, n_batched_calls)``.
+    """
+    ncol = len(boundary)
+    if ncol < 2:
+        return list(boundary), 0
+    batch = _batch_size(backend, boundary)
+    lefts, rights, calls = corner_grams_batched(backend, boundary)
+    pairs: List = [None] * ncol
+    for bond in range(1, ncol):
+        left_arr = np.asarray(backend.asarray(lefts[bond]))
+        right_arr = np.asarray(backend.asarray(rights[bond]))
+        if left_arr.shape[0] == 1:
+            left_arr = np.broadcast_to(left_arr, (batch,) + left_arr.shape[1:])
+        if right_arr.shape[0] == 1:
+            right_arr = np.broadcast_to(right_arr, (batch,) + right_arr.shape[1:])
+        per_shot = [
+            bond_projectors(
+                backend,
+                backend.astensor(np.asarray(left_arr[s])),
+                backend.astensor(np.asarray(right_arr[s])),
+                chi,
+                cutoff,
+            )[0]
+            for s in range(batch)
+        ]
+        truncating = [p for p in per_shot if p is not None]
+        if not truncating:
+            continue
+        if len(truncating) != batch:
+            raise RuntimeError(
+                f"bond {bond} truncates for {len(truncating)}/{batch} shots; "
+                f"lockstep CTM renormalization needs a shape-deterministic "
+                f"truncation (cutoff=None)"
+            )
+        pairs[bond] = (
+            backend.astensor(np.stack([p[0] for p in per_shot])),
+            backend.astensor(np.stack([p[1] for p in per_shot])),
+        )
+    renormalized: List = []
+    for c in range(ncol):
+        tensor = boundary[c]
+        if pairs[c] is not None:
+            tensor = backend.einsum_batched("kl,lqpr->kqpr", pairs[c][0], tensor)
+            calls += 1
+        if c + 1 < ncol and pairs[c + 1] is not None:
+            tensor = backend.einsum_batched("aqpl,lk->aqpk", tensor, pairs[c + 1][1])
+            calls += 1
+        renormalized.append(tensor)
+    return renormalized, calls
+
+
 def spectra_distance(
     previous: Optional[List[np.ndarray]], current: List[np.ndarray]
 ) -> float:
@@ -299,6 +398,33 @@ class EnvCTM(BoundaryEnvironment):
             return grown
         renormalized, _ = ctm_renormalize(self.backend, grown, self.chi, self.cutoff)
         return renormalized
+
+    def supports_lockstep(self) -> bool:
+        """Fixed-``chi`` corner truncations are shape-deterministic across
+        shots; a ``cutoff`` retains data-dependent ranks, forcing the serial
+        sampler."""
+        return self.cutoff is None
+
+    def absorb_for_sampling_batched(self, upper, projected_row):
+        """Absorb one basis-projected row CTM-style into a batch of boundaries.
+
+        The exact growth and the corner-Gram chains run as batched
+        contractions covering every shot at once; only the small per-shot
+        corner SVDs stay per-item.
+        """
+        b = self.backend
+        batch = _batch_size(b, upper, projected_row)
+        self.stats.row_absorptions += batch
+        self.stats.ctm_moves += batch
+        count_ctm_move(batch)
+        grown = absorb_sandwich_row_batched(b, upper, projected_row, projected_row)
+        calls = len(grown)
+        if not self._absorbs_exactly():
+            grown, renorm_calls = ctm_renormalize_batched(b, grown, self.chi, self.cutoff)
+            calls += renorm_calls
+        self.stats.batched_contractions += calls
+        count_batched_contraction(calls)
+        return grown
 
     # ------------------------------------------------------------------ #
     # Convergence

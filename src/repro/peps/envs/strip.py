@@ -96,6 +96,151 @@ def operator_pieces(
     raise ValueError(f"terms on {len(sites)} sites are not supported")
 
 
+class StripCache:
+    """Shared column environments of one row strip, reused across terms.
+
+    Every observable term on rows ``r0..r1`` contracts the *same* strip
+    ``upper x rows x lower`` — the terms differ only in which columns carry
+    operator pieces.  The cache lazily builds the traced (operator-free)
+    left environments ``L[j]`` (columns ``0..j-1`` absorbed) and right
+    environments ``R[j]`` (columns ``j..ncol-1`` absorbed) once, and each
+    :meth:`term_value` then only contracts the term's own column span
+    ``c0..c1`` between ``L[c0]`` and ``R[c1+1]``.
+
+    A batched expectation pass holds one cache per ``(r0, r1)`` strip, so
+    ``k`` terms on one strip cost one pair of transfer sweeps plus ``k``
+    short span contractions instead of ``k`` full ``O(ncol)`` sweeps.
+    ``hits`` counts the term evaluations fully served by already-built
+    column environments, ``misses`` those that had to extend a sweep.
+    """
+
+    def __init__(self, peps, upper: Sequence, lower: Sequence, r0: int, r1: int) -> None:
+        self.peps = peps
+        self.backend = peps.backend
+        self.upper = upper
+        self.lower = lower
+        self.r0 = r0
+        self.r1 = r1
+        self.rows = list(range(r0, r1 + 1))
+        ncol = peps.ncol
+        self._left: List = [None] * (ncol + 1)
+        self._right: List = [None] * (ncol + 1)
+        # Closes the dimension-1 edge legs at the right lattice boundary so
+        # every R[j] exposes only the column-j labels.
+        edge = self.backend.ones((1,) * len(self._column_labels(ncol)))
+        self._right[ncol] = edge
+        self._builds = 0
+        self.hits = 0
+        self.misses = 0
+
+    def _column_labels(self, j: int) -> Tuple:
+        labels: List = [("ub", j)]
+        for r in self.rows:
+            labels.append(("hk", r, j))
+            labels.append(("hb", r, j))
+        labels.append(("lb", j))
+        return tuple(labels)
+
+    def _column_operands(self, j: int, piece_map=None) -> Tuple[List, List]:
+        """Operands and label tuples of strip column ``j``.
+
+        ``piece_map`` inserts operator pieces between the layers; ``None``
+        gives the traced column used by the shared environments.
+        """
+        backend = self.backend
+        r0, r1 = self.r0, self.r1
+        operands: List = [self.upper[j], self.lower[j]]
+        inputs: List = [
+            (("ub", j), ("uk", j), ("ubra", j), ("ub", j + 1)),
+            (("lb", j), ("lk", j), ("lbra", j), ("lb", j + 1)),
+        ]
+        for r in self.rows:
+            ket = self.peps.grid[r][j]
+            bra = backend.conj(self.peps.grid[r][j])
+            ket_up = ("uk", j) if r == r0 else ("vk", r, j)
+            ket_down = ("lk", j) if r == r1 else ("vk", r + 1, j)
+            bra_up = ("ubra", j) if r == r0 else ("vb", r, j)
+            bra_down = ("lbra", j) if r == r1 else ("vb", r + 1, j)
+
+            has_op = piece_map is not None and (r, j) in piece_map
+            ket_phys = ("kp", r, j)
+            bra_phys = ("bp", r, j) if has_op else ket_phys
+
+            operands.append(ket)
+            inputs.append((ket_phys, ket_up, ("hk", r, j), ket_down, ("hk", r, j + 1)))
+            operands.append(bra)
+            inputs.append((bra_phys, bra_up, ("hb", r, j), bra_down, ("hb", r, j + 1)))
+
+            if has_op:
+                for piece, kap_in, kap_out in piece_map[(r, j)]:
+                    operands.append(backend.astensor(piece))
+                    inputs.append((kap_in, bra_phys, ket_phys, kap_out))
+        return operands, inputs
+
+    def left(self, j: int):
+        """Traced environment of columns ``0..j-1`` (``None`` for ``j == 0``)."""
+        if j == 0:
+            return None
+        if self._left[j] is None:
+            prev = self.left(j - 1)
+            operands, inputs = self._column_operands(j - 1)
+            if prev is not None:
+                operands.append(prev)
+                inputs.append(self._column_labels(j - 1))
+            self._left[j] = contract_network(
+                operands, inputs, self._column_labels(j), backend=self.backend
+            )
+            self._builds += 1
+        return self._left[j]
+
+    def right(self, j: int):
+        """Traced environment of columns ``j..ncol-1`` (edge closer at ``ncol``)."""
+        if self._right[j] is None:
+            operands, inputs = self._column_operands(j)
+            operands.append(self.right(j + 1))
+            inputs.append(self._column_labels(j + 1))
+            self._right[j] = contract_network(
+                operands, inputs, self._column_labels(j), backend=self.backend
+            )
+            self._builds += 1
+        return self._right[j]
+
+    def term_value(self, sites: Sequence[int], matrix: np.ndarray) -> complex:
+        """``<psi| term |psi>`` with only the term's column span contracted."""
+        backend = self.backend
+        positions = [self.peps.site_position(s) for s in sites]
+        for (r, _c) in positions:
+            if not (self.r0 <= r <= self.r1):
+                raise ValueError("term site outside the strip rows")
+        piece_map = operator_pieces(sites, matrix, positions)
+        cols = [c for (_r, c) in positions]
+        c0, c1 = min(cols), max(cols)
+
+        builds_before = self._builds
+        env = self.left(c0)
+        env_labels = self._column_labels(c0)
+        for j in range(c0, c1 + 1):
+            operands, inputs = self._column_operands(j, piece_map)
+            if env is not None:
+                operands.append(env)
+                inputs.append(env_labels)
+            out_labels = self._column_labels(j + 1) + tuple(pending_kappas(piece_map, j))
+            env = contract_network(operands, inputs, out_labels, backend=backend)
+            env_labels = out_labels
+
+        closed = contract_network(
+            [env, self.right(c1 + 1)],
+            [env_labels, self._column_labels(c1 + 1)],
+            (),
+            backend=backend,
+        )
+        if self._builds == builds_before:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return backend.item(closed)
+
+
 def strip_value(
     peps,
     upper: Sequence,
@@ -110,73 +255,12 @@ def strip_value(
     The strip is contracted column by column; the per-column contraction runs
     through :func:`contract_network`, so intermediate sizes stay bounded by
     ``(boundary bond)^2 x (PEPS bond)^(2*height)`` times small factors.
+    Callers with several terms on the same strip should hold a
+    :class:`StripCache` instead — this convenience wrapper builds a fresh one
+    per call and shares nothing.
     """
-    backend = peps.backend
-    ncol = peps.ncol
-    rows = list(range(r0, r1 + 1))
-    positions = [peps.site_position(s) for s in sites]
-    for (r, _c) in positions:
-        if not (r0 <= r <= r1):
-            raise ValueError("term site outside the strip rows")
-    piece_map = operator_pieces(sites, matrix, positions)
-
-    env = None
-    env_labels: Tuple = ()
-    pending: List = []  # kappa labels crossing column boundaries
-
-    for j in range(ncol):
-        operands = []
-        inputs = []
-
-        # Upper boundary tensor.
-        operands.append(upper[j])
-        inputs.append((("ub", j), ("uk", j), ("ubra", j), ("ub", j + 1)))
-
-        # Lower boundary tensor.
-        operands.append(lower[j])
-        inputs.append((("lb", j), ("lk", j), ("lbra", j), ("lb", j + 1)))
-
-        for r in rows:
-            ket = peps.grid[r][j]
-            bra = backend.conj(peps.grid[r][j])
-            ket_up = ("uk", j) if r == r0 else ("vk", r, j)
-            ket_down = ("lk", j) if r == r1 else ("vk", r + 1, j)
-            bra_up = ("ubra", j) if r == r0 else ("vb", r, j)
-            bra_down = ("lbra", j) if r == r1 else ("vb", r + 1, j)
-
-            has_op = (r, j) in piece_map
-            ket_phys = ("kp", r, j)
-            bra_phys = ("bp", r, j) if has_op else ket_phys
-
-            operands.append(ket)
-            inputs.append((ket_phys, ket_up, ("hk", r, j), ket_down, ("hk", r, j + 1)))
-            operands.append(bra)
-            inputs.append((bra_phys, bra_up, ("hb", r, j), bra_down, ("hb", r, j + 1)))
-
-            if has_op:
-                for piece, kap_in, kap_out in piece_map[(r, j)]:
-                    operands.append(backend.astensor(piece))
-                    inputs.append((kap_in, bra_phys, ket_phys, kap_out))
-
-        # Operator bonds whose two endpoints straddle this column boundary must
-        # be carried in the environment until the second endpoint is reached.
-        pending = pending_kappas(piece_map, j)
-
-        if env is not None:
-            operands.append(env)
-            inputs.append(env_labels)
-
-        out_labels = [("ub", j + 1)]
-        for r in rows:
-            out_labels.append(("hk", r, j + 1))
-            out_labels.append(("hb", r, j + 1))
-        out_labels.append(("lb", j + 1))
-        out_labels.extend(pending)
-
-        env = contract_network(operands, inputs, tuple(out_labels), backend=backend)
-        env_labels = tuple(out_labels)
-
-    return backend.item(env)
+    cache = StripCache(peps, upper, lower, r0, r1)
+    return cache.term_value(sites, matrix)
 
 
 def pending_kappas(piece_map, col: int) -> List:

@@ -507,9 +507,16 @@ class PEPS:
         rng: SeedLike = None,
         nshots: int = 1,
         contract_option: Optional[ContractOption] = None,
+        batch_shots: Optional[int] = None,
     ) -> np.ndarray:
-        """Computational-basis samples ``~ |<b|psi>|^2`` (see ``Environment.sample``)."""
-        return self._environment_for(contract_option).sample(rng=rng, nshots=nshots)
+        """Computational-basis samples ``~ |<b|psi>|^2`` (see ``Environment.sample``).
+
+        ``batch_shots`` bounds the sampler's lockstep group size (``None``:
+        all shots batched, ``1``: serial); the bits are identical either way.
+        """
+        return self._environment_for(contract_option).sample(
+            rng=rng, nshots=nshots, batch_shots=batch_shots
+        )
 
     def _environment_for(self, contract_option: Optional[ContractOption]):
         """The attached environment if compatible, else an ephemeral one."""

@@ -104,6 +104,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--payload", choices=("inline", "npz"), default=None,
                      help="override the spec's checkpoint payload format "
                      "(npz sidecar or inline base64; --resume reads either)")
+    run.add_argument("--batch-shots", type=int, default=None, metavar="S",
+                     help="override the spec's sampling lockstep group size "
+                     "(1 = serial sampler; bits are identical either way)")
     run.add_argument("--name", default=None, help="override the spec's run name")
     run.add_argument("--quiet", action="store_true",
                      help="suppress per-step record output")
@@ -185,6 +188,8 @@ def _main_run(args) -> int:
         spec.checkpoint_every = max(0, args.checkpoint_every)
     if args.payload is not None:
         spec.checkpoint_payload = args.payload
+    if args.batch_shots is not None:
+        spec.batch_shots = max(1, args.batch_shots)
     if args.name is not None:
         spec.name = args.name
 

@@ -207,7 +207,9 @@ class ITEWorkload(Workload):
         if "sample" in self.spec.observables:
             nshots = int(self.spec.algorithm.get("nshots", 1))
             rng = derive_rng(self.spec.seed, "sample", step_index)
-            record["samples"] = self.state.sample(rng=rng, nshots=nshots).tolist()
+            record["samples"] = self.state.sample(
+                rng=rng, nshots=nshots, batch_shots=self.spec.batch_shots
+            ).tolist()
         return record
 
     def summary(self) -> Dict[str, Any]:

@@ -82,21 +82,38 @@ class FlopCounter:
 
     def __init__(self) -> None:
         self._totals: Dict[str, float] = {}
+        self._calls: Dict[str, int] = {}
 
-    def add(self, category: str, flops: float) -> None:
+    def add(self, category: str, flops: float, calls: int = 1) -> None:
         if flops < 0:
             raise ValueError(f"negative flop count: {flops}")
         self._totals[category] = self._totals.get(category, 0.0) + float(flops)
+        self._calls[category] = self._calls.get(category, 0) + int(calls)
 
     @property
     def total(self) -> float:
         return sum(self._totals.values())
 
+    @property
+    def total_calls(self) -> int:
+        """Number of counted backend operations (one batched call counts once)."""
+        return sum(self._calls.values())
+
     def by_category(self) -> Dict[str, float]:
         return dict(self._totals)
 
+    def calls_by_category(self) -> Dict[str, int]:
+        """Per-category call counts — the batching benchmarks compare these.
+
+        A lockstep sampler collapses ``nshots`` per-site ``"einsum"`` calls
+        into one ``"einsum_batched"`` call, so the call counts (unlike the
+        flop totals) shrink with the batch size.
+        """
+        return dict(self._calls)
+
     def reset(self) -> None:
         self._totals.clear()
+        self._calls.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         parts = ", ".join(f"{k}={v:.3g}" for k, v in sorted(self._totals.items()))

@@ -1,0 +1,435 @@
+"""Tests for the batched contraction engine: ``einsum_batched``, lockstep
+multi-shot sampling, and shared strip-boundary caches."""
+
+import numpy as np
+import pytest
+
+from repro import peps
+from repro.backends import (
+    clear_path_caches,
+    get_backend,
+    parse_batched_subscripts,
+    path_cache_stats,
+    rewrite_batched_subscripts,
+)
+from repro.backends.numpy_backend import NumPyBackend
+from repro.operators.hamiltonians import heisenberg_j1j2
+from repro.peps.contraction import stats
+from repro.peps.contraction.options import BMPS, CTMOption, Exact
+from repro.peps.contraction.two_layer import (
+    absorb_sandwich_row,
+    absorb_sandwich_row_batched,
+    trivial_boundary,
+)
+from repro.peps.envs import EnvBoundaryMPS, EnvCTM, EnvExact, StripCache
+from repro.peps.envs.sampling import _SamplingPlan, sample_bitstrings
+from repro.peps.envs.strip import strip_value
+from repro.sim.spec import RunSpec
+from repro.utils.flops import FlopCounter
+
+from conftest import random_complex
+
+Z = np.array([[1, 0], [0, -1]], dtype=np.complex128)
+
+
+# --------------------------------------------------------------------- #
+# Backend layer: einsum_batched
+# --------------------------------------------------------------------- #
+class TestEinsumBatchedParsing:
+    def test_requires_explicit_output(self):
+        with pytest.raises(ValueError, match="->"):
+            parse_batched_subscripts("ab,bc", [(2, 2, 2), (2, 2, 2)])
+
+    def test_rejects_ellipsis(self):
+        with pytest.raises(ValueError, match="ellipsis"):
+            parse_batched_subscripts("a...,b->ab", [(2, 2), (2, 2)])
+
+    def test_rejects_missing_batch_axis(self):
+        with pytest.raises(ValueError, match="batch"):
+            parse_batched_subscripts("ab,bc->ac", [(2, 3), (3, 4)])
+
+    def test_rejects_inconsistent_batch_dims(self):
+        with pytest.raises(ValueError, match="batch"):
+            parse_batched_subscripts("ab,bc->ac", [(2, 2, 3), (3, 3, 4)])
+
+    def test_broadcast_batch_of_one(self):
+        inputs, output, dims, batch = parse_batched_subscripts(
+            "ab,bc->ac", [(1, 2, 3), (5, 3, 4)]
+        )
+        assert inputs == ["ab", "bc"]
+        assert output == "ac"
+        assert dims == [1, 5]
+        assert batch == 5
+
+    def test_rewrite_finds_free_letter(self):
+        batched, label = rewrite_batched_subscripts("ab,bc->ac", [4, 4])
+        assert len(label) == 1 and label not in "abc"
+        assert batched == f"{label}ab,{label}bc->{label}ac"
+
+    def test_rewrite_skips_broadcast_operands(self):
+        batched, label = rewrite_batched_subscripts("ab,bc->ac", [1, 4])
+        assert batched == f"ab,{label}bc->{label}ac"
+
+
+class TestEinsumBatchedValues:
+    CASES = [
+        ("ab,bc->ac", [(3, 4), (4, 5)]),
+        ("auwx,puedg,pwfhs,bdhy,xgsy->aefb",
+         [(2, 2, 2, 2), (2, 2, 2, 2, 2), (2, 2, 2, 2, 2), (2, 2, 2, 2), (2, 2, 2, 2)]),
+        ("ab,ab->", [(2, 3), (2, 3)]),       # scalar output
+        ("abc->cb", [(2, 3, 4)]),            # single operand transpose
+        ("ab,b->a", [(3, 3), (3,)]),
+    ]
+
+    @pytest.mark.parametrize("subscripts,shapes", CASES)
+    @pytest.mark.parametrize("batch_dims", ["full", "mixed"])
+    def test_matches_stacked_loop(self, backend, rng, subscripts, shapes, batch_dims):
+        """Acceptance: einsum_batched == stacking a loop of plain einsums."""
+        nbatch = 3
+        operands, arrays = [], []
+        for i, shape in enumerate(shapes):
+            b_dim = nbatch if (batch_dims == "full" or i % 2 == 0) else 1
+            arr = random_complex(rng, (b_dim,) + shape)
+            arrays.append(arr)
+            operands.append(backend.astensor(arr))
+        result = np.asarray(backend.asarray(backend.einsum_batched(subscripts, *operands)))
+        for i in range(nbatch):
+            items = [arr[0 if arr.shape[0] == 1 else i] for arr in arrays]
+            ref = np.einsum(subscripts, *items)
+            np.testing.assert_allclose(result[i], ref, atol=1e-12)
+
+    def test_property_random_contractions(self, backend):
+        """Property test over randomly generated subscripts and shapes."""
+        gen = np.random.default_rng(2024)
+        letters = "abcde"
+        for _ in range(6):
+            dims = {letter: int(gen.integers(1, 4)) for letter in letters}
+            n_ops = int(gen.integers(1, 4))
+            specs = []
+            for _ in range(n_ops):
+                k = int(gen.integers(1, 4))
+                specs.append("".join(gen.choice(list(letters), size=k, replace=False)))
+            used = sorted(set("".join(specs)))
+            n_out = int(gen.integers(0, len(used) + 1))
+            output = "".join(gen.choice(used, size=n_out, replace=False))
+            subscripts = ",".join(specs) + "->" + output
+            nbatch = int(gen.integers(2, 5))
+            arrays = []
+            for spec in specs:
+                b_dim = 1 if gen.uniform() < 0.3 else nbatch
+                shape = (b_dim,) + tuple(dims[c] for c in spec)
+                arrays.append(gen.standard_normal(shape) + 1j * gen.standard_normal(shape))
+            operands = [backend.astensor(arr) for arr in arrays]
+            result = np.asarray(
+                backend.asarray(backend.einsum_batched(subscripts, *operands))
+            )
+            batch = max(arr.shape[0] for arr in arrays)
+            assert result.shape[0] == batch
+            for i in range(batch):
+                items = [arr[0 if arr.shape[0] == 1 else i] for arr in arrays]
+                ref = np.einsum(subscripts, *items)
+                np.testing.assert_allclose(result[i], ref, atol=1e-12, err_msg=subscripts)
+
+    def test_batch_of_one_matches_plain_einsum(self, backend, rng):
+        a = random_complex(rng, (1, 3, 4))
+        b = random_complex(rng, (1, 4, 5))
+        out = backend.einsum_batched("ab,bc->ac", backend.astensor(a), backend.astensor(b))
+        ref = np.einsum("ab,bc->ac", a[0], b[0])
+        np.testing.assert_allclose(np.asarray(backend.asarray(out))[0], ref, atol=1e-12)
+
+
+class TestPathCacheStats:
+    def test_hits_and_misses_counted(self, rng):
+        backend = get_backend("numpy")
+        clear_path_caches()
+        a = backend.astensor(random_complex(rng, (4, 3, 3)))
+        b = backend.astensor(random_complex(rng, (4, 3, 3)))
+        backend.einsum_batched("ab,bc->ac", a, b)
+        backend.einsum_batched("ab,bc->ac", a, b)
+        info = path_cache_stats()
+        assert info["path"]["misses"] == 1
+        assert info["path"]["hits"] >= 1
+        clear_path_caches()
+        assert path_cache_stats()["path"]["size"] == 0
+
+    def test_flop_counter_batched_category(self, rng):
+        counter = FlopCounter()
+        backend = NumPyBackend(flop_counter=counter)
+        a = backend.astensor(random_complex(rng, (4, 3, 3)))
+        b = backend.astensor(random_complex(rng, (4, 3, 3)))
+        backend.einsum_batched("ab,bc->ac", a, b)
+        calls = counter.calls_by_category()
+        assert calls["einsum_batched"] == 1
+        assert counter.total_calls == 1
+        counter.reset()
+        assert counter.total_calls == 0 and counter.total == 0.0
+
+
+# --------------------------------------------------------------------- #
+# Batched row absorption
+# --------------------------------------------------------------------- #
+class TestBatchedAbsorption:
+    def test_matches_per_shot_exact_absorb(self, rng):
+        backend = get_backend("numpy")
+        state = peps.random_peps(2, 3, bond_dim=2, seed=9)
+        row = state.grid[0]
+        nbatch = 4
+        boundary_shots = []
+        for s in range(nbatch):
+            start = trivial_boundary(backend, 3)
+            boundary_shots.append(
+                absorb_sandwich_row(start, row, row, option=None, backend=backend)
+            )
+        stacked_boundary = [
+            backend.ones((1, 1, 1, 1, 1)) for _ in range(3)
+        ]
+        lifted_row = [backend.reshape(t, (1,) + tuple(backend.shape(t))) for t in row]
+        batched = absorb_sandwich_row_batched(
+            backend, stacked_boundary, lifted_row, lifted_row
+        )
+        for c in range(3):
+            got = np.asarray(backend.asarray(batched[c]))
+            ref = np.asarray(backend.asarray(boundary_shots[0][c]))
+            assert got.shape[0] == 1
+            np.testing.assert_allclose(got[0], ref, atol=1e-12)
+
+    def test_counts_row_absorptions_per_shot(self):
+        backend = get_backend("numpy")
+        state = peps.random_peps(1, 2, bond_dim=2, seed=10)
+        row = []
+        for t in state.grid[0]:
+            arr = np.asarray(backend.asarray(t))
+            row.append(backend.astensor(np.stack([arr, arr, arr])))
+        boundary = [backend.ones((1, 1, 1, 1, 1))] * 2
+        before = stats.absorption_count()
+        absorb_sandwich_row_batched(backend, boundary, row, row)
+        assert stats.absorption_count() - before == 3
+
+
+# --------------------------------------------------------------------- #
+# Lockstep sampling
+# --------------------------------------------------------------------- #
+def _make_env(kind, state):
+    if kind == "exact":
+        return EnvExact(state)
+    if kind == "bmps":
+        return EnvBoundaryMPS(state, BMPS(truncate_bond=8))
+    if kind == "ctm":
+        return EnvCTM(state, CTMOption(chi=8))
+    raise ValueError(kind)
+
+
+ENV_KINDS = ["exact", "bmps", "ctm"]
+
+
+class TestLockstepSampling:
+    @pytest.mark.parametrize("kind", ENV_KINDS)
+    def test_shot_for_shot_parity_with_serial(self, kind):
+        """Acceptance: lockstep and serial samplers draw identical bits."""
+        results = {}
+        for batch_shots in (1, 3, None):
+            state = peps.random_peps(3, 3, bond_dim=2, seed=5)
+            env = _make_env(kind, state)
+            results[batch_shots] = sample_bitstrings(
+                env, rng=11, nshots=7, batch_shots=batch_shots
+            )
+        np.testing.assert_array_equal(results[1], results[None])
+        np.testing.assert_array_equal(results[1], results[3])
+
+    @pytest.mark.parametrize("kind", ENV_KINDS)
+    def test_shot_streams_independent_of_nshots(self, kind):
+        """Shot ``s`` draws from its own substream: requesting more shots
+        never perturbs the earlier ones."""
+        state = peps.random_peps(2, 3, bond_dim=2, seed=6)
+        few = _make_env(kind, state).sample(rng=3, nshots=3)
+        many = _make_env(kind, state).sample(rng=3, nshots=8)
+        np.testing.assert_array_equal(few, many[:3])
+
+    def test_lockstep_issues_fewer_einsum_calls(self):
+        """Acceptance: at nshots=32 the lockstep sampler issues at most 25%
+        of the serial per-site einsum calls."""
+        calls = {}
+        for batch_shots in (1, None):
+            counter = FlopCounter()
+            backend = NumPyBackend(flop_counter=counter)
+            state = peps.random_peps(3, 3, bond_dim=2, seed=7, backend=backend)
+            env = EnvCTM(state, CTMOption(chi=8))
+            env.sample(rng=7, nshots=32, batch_shots=batch_shots)
+            calls[batch_shots] = counter.calls_by_category()
+        serial = calls[1].get("einsum", 0)
+        lockstep = calls[None].get("einsum", 0) + calls[None].get("einsum_batched", 0)
+        assert serial > 0
+        assert lockstep <= 0.25 * serial, (lockstep, serial)
+
+    def test_batched_contraction_stats_counted(self):
+        state = peps.random_peps(2, 2, bond_dim=2, seed=8)
+        env = EnvExact(state)
+        before = stats.batched_contraction_count()
+        env.sample(rng=2, nshots=4)
+        assert env.stats.batched_contractions > 0
+        assert stats.batched_contraction_count() > before
+
+    def test_serial_path_for_cutoff_truncations(self):
+        """Cutoff truncation keeps data-dependent shapes: sampling must fall
+        back to the serial path (and still work)."""
+        state = peps.random_peps(2, 2, bond_dim=2, seed=12)
+        from repro.tensornetwork import ExplicitSVD
+
+        env = EnvBoundaryMPS(state, BMPS(ExplicitSVD(rank=4, cutoff=1e-12)))
+        assert not env.supports_lockstep()
+        shots = env.sample(rng=4, nshots=5)
+        assert shots.shape == (5, 4)
+        assert env.stats.batched_contractions == 0
+
+    def test_uniform_fallback_counted(self):
+        state = peps.random_peps(2, 2, bond_dim=2, seed=13)
+        env = EnvExact(state)
+        plan = _SamplingPlan(env)
+        probs = plan.probabilities(np.zeros((3, 2)))
+        np.testing.assert_allclose(probs, np.full((3, 2), 0.5))
+        assert env.stats.uniform_fallbacks == 3
+
+    def test_sample_on_distributed_backend(self, dist_backend):
+        state = peps.random_peps(2, 2, bond_dim=2, seed=14, backend=dist_backend)
+        env = EnvExact(state)
+        lock = env.sample(rng=9, nshots=4)
+        state2 = peps.random_peps(2, 2, bond_dim=2, seed=14, backend=dist_backend)
+        serial = EnvExact(state2).sample(rng=9, nshots=4, batch_shots=1)
+        np.testing.assert_array_equal(lock, serial)
+
+    def test_deterministic_state_samples_deterministically(self):
+        state = peps.computational_basis([1, 0, 1, 1, 0, 1], 2, 3)
+        shots = state.sample(rng=7, nshots=5)
+        assert np.all(shots == np.array([1, 0, 1, 1, 0, 1]))
+
+
+class TestLockstepDistribution:
+    @pytest.mark.parametrize("kind", ["bmps16", "ctm16"])
+    def test_chi_squared_against_statevector(self, kind):
+        """Acceptance: seeded chi-squared check of the lockstep sampler on a
+        3x3 lattice for EnvBoundaryMPS and EnvCTM."""
+        state = peps.random_peps(3, 3, bond_dim=2, seed=21)
+        if kind == "bmps16":
+            env = EnvBoundaryMPS(state, BMPS(truncate_bond=16))
+        else:
+            env = EnvCTM(state, CTMOption(chi=16))
+        sv = state.to_statevector()
+        probs = np.abs(sv) ** 2
+        probs = probs / probs.sum()
+
+        nshots = 3000
+        shots = env.sample(rng=77, nshots=nshots)
+        weights = 2 ** np.arange(8, -1, -1)
+        counts = np.bincount(shots @ weights, minlength=512).astype(float)
+
+        # Lump bins with small expected counts so the chi-squared statistic
+        # is well behaved, then compare against a generous quantile.
+        expected = probs * nshots
+        big = expected >= 5.0
+        chi2 = float(np.sum((counts[big] - expected[big]) ** 2 / expected[big]))
+        tail_exp = float(expected[~big].sum())
+        if tail_exp > 0:
+            tail_obs = float(counts[~big].sum())
+            chi2 += (tail_obs - tail_exp) ** 2 / tail_exp
+        dof = int(big.sum())  # (+1 lumped bin, -1 normalization)
+        assert chi2 < dof + 5.0 * np.sqrt(2.0 * dof), (chi2, dof)
+
+    def test_lockstep_statistics_match_statevector_2x2(self):
+        """Total-variation check on the default (lockstep) sampling path."""
+        state = peps.random_peps(2, 2, bond_dim=2, seed=22)
+        env = EnvExact(state)
+        sv = state.to_statevector()
+        probs = np.abs(sv) ** 2
+        probs = probs / probs.sum()
+        nshots = 4000
+        shots = env.sample(rng=1, nshots=nshots)
+        weights = 2 ** np.arange(3, -1, -1)
+        empirical = np.bincount(shots @ weights, minlength=16) / nshots
+        assert 0.5 * np.abs(empirical - probs).sum() < 0.05
+
+
+# --------------------------------------------------------------------- #
+# Strip caches
+# --------------------------------------------------------------------- #
+class TestStripCache:
+    def test_term_values_match_strip_value(self):
+        state = peps.random_peps(3, 3, bond_dim=2, seed=31)
+        env = EnvExact(state)
+        H = heisenberg_j1j2(3, 3, j2=[0.5, 0.5, 0.5])
+        caches = {}
+        for term in H.terms:
+            r0, r1, _ = env._term_rows(term.sites)
+            cache = caches.setdefault(
+                (r0, r1),
+                StripCache(state, env.ensure_upper(r0), env.ensure_lower(r1), r0, r1),
+            )
+            got = cache.term_value(term.sites, term.matrix)
+            ref = strip_value(
+                state, env.ensure_upper(r0), env.ensure_lower(r1),
+                r0, r1, term.sites, term.matrix,
+            )
+            assert got == pytest.approx(ref, rel=1e-10), term.sites
+
+    def test_expectation_counts_hits_and_misses(self):
+        state = peps.random_peps(3, 4, bond_dim=2, seed=32)
+        env = EnvExact(state)
+        H = heisenberg_j1j2(3, 4, j2=[0.5, 0.5, 0.5])
+        before = stats.strip_cache_hit_count()
+        energy = env.expectation(H)
+        assert np.isfinite(energy)
+        assert env.stats.strip_cache_hits > 0
+        assert env.stats.strip_cache_misses > 0
+        assert stats.strip_cache_hit_count() - before == env.stats.strip_cache_hits
+
+    def test_expectation_value_unchanged_by_caching(self):
+        state = peps.random_peps(3, 3, bond_dim=2, seed=33)
+        H = heisenberg_j1j2(3, 3)
+        cached = EnvExact(state).expectation(H)
+        reference = state.expectation(H, use_cache=False)
+        assert cached == pytest.approx(reference, rel=1e-9)
+
+    def test_measure_2site_unchanged_by_caching(self):
+        state = peps.random_peps(2, 3, bond_dim=2, seed=34)
+        env = EnvExact(state)
+        values = env.measure_2site(Z, Z)
+        from repro.operators.observable import Observable
+
+        for (a, b), val in values.items():
+            ref = state.expectation(Observable.ZZ(a, b), use_cache=False)
+            assert val == pytest.approx(ref, abs=1e-9), (a, b)
+
+
+# --------------------------------------------------------------------- #
+# Spec / stats plumbing
+# --------------------------------------------------------------------- #
+class TestBatchShotsSpec:
+    def test_round_trip(self):
+        spec = RunSpec.from_dict({"name": "x", "batch_shots": 4})
+        assert spec.batch_shots == 4
+        assert RunSpec.from_dict(spec.to_dict()).batch_shots == 4
+
+    def test_default_is_none(self):
+        assert RunSpec().batch_shots is None
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="batch_shots"):
+            RunSpec(batch_shots=0)
+
+    def test_sample_rejects_bad_batch_shots(self):
+        state = peps.random_peps(2, 2, bond_dim=1, seed=43)
+        with pytest.raises(ValueError, match="batch_shots"):
+            state.sample(nshots=2, batch_shots=0)
+
+
+class TestEnvStatsReset:
+    def test_reset_clears_batching_counters(self):
+        state = peps.random_peps(2, 2, bond_dim=2, seed=44)
+        env = EnvExact(state)
+        env.sample(rng=1, nshots=3)
+        env.expectation(heisenberg_j1j2(2, 2))
+        assert env.stats.batched_contractions > 0
+        env.stats.reset()
+        assert env.stats.batched_contractions == 0
+        assert env.stats.uniform_fallbacks == 0
+        assert env.stats.strip_cache_hits == 0
+        assert env.stats.strip_cache_misses == 0

@@ -98,5 +98,6 @@ class TestMarkdownLinks:
 
     def test_readme_links_every_doc_page(self):
         readme = read(os.path.join(REPO_ROOT, "README.md"))
-        for name in ("docs/checkpoint-format.md", "docs/cli.md", "docs/architecture.md"):
+        for name in ("docs/checkpoint-format.md", "docs/cli.md",
+                     "docs/architecture.md", "docs/perf.md"):
             assert name in readme, f"README.md does not link {name}"
