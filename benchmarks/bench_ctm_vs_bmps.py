@@ -50,7 +50,7 @@ def _run_ite(contraction, label):
         "contraction": contraction,
         "measure_every": N_STEPS,
     })
-    stats.reset_absorption_count()
+    stats.reset_all()
     start = time.perf_counter()
     result = Simulation(spec).run()
     elapsed = time.perf_counter() - start

@@ -1,0 +1,192 @@
+"""Telemetry subsystem: zero-cost-when-disabled and bitwise-when-enabled.
+
+The unified telemetry layer (``docs/observability.md``) instruments every hot
+path — per-einsum spans, row absorptions, CTM moves, the step loop — so its
+two contracts need a regression pin:
+
+1. **Disabled telemetry is free.**  A spec carrying a disabled ``telemetry``
+   block must run within ``MAX_OVERHEAD_RATIO`` (2%) of a spec with no
+   telemetry at all: the inactive span machinery costs one attribute check
+   per call site.  Both legs are timed interleaved, best-of-``REPEATS``.
+2. **Enabled telemetry is observational.**  A traced run must produce
+   bitwise-identical results *and* checkpoint files (json + npz sidecars) to
+   the untraced reference, while emitting a non-empty Chrome trace; a
+   ``metrics: true`` run must reproduce the reference records exactly modulo
+   the added per-step ``"metrics"`` delta dict.
+
+The harness drives the ctm smoke spec (``examples/specs/ite_ctm_smoke.json``,
+the acceptance workload pinned by ``tests/test_payload.py``) and emits
+``BENCH_telemetry.json``::
+
+    {
+      "benchmark": "telemetry",
+      "scale": "default",
+      "lattice": [3, 3], "chi": 8, "n_steps": 5,
+      "baseline": {"wall_s": ...},
+      "disabled": {"wall_s": ...},
+      "traced":   {"wall_s": ..., "trace_events": 3438},
+      "overhead_ratio": 1.004,          # best adjacent disabled/baseline
+                                        # pair (pin: <= 1.02)
+      "traced_overhead_ratio": 1.08,    # traced / baseline (informational)
+      "trace_events": 3438,
+      "results_bitwise_identical": true,
+      "checkpoints_bitwise_identical": true,
+      "metrics_records_match_baseline": true
+    }
+
+``wall_s`` is machine-dependent; the bitwise flags and the event count are
+exact.  The ``telemetry-overhead`` CI job re-asserts the pins from the JSON.
+"""
+
+import copy
+import json
+import time
+
+from repro.sim import RunSpec, Simulation
+
+from benchmarks.conftest import SCALE, print_series, scaled
+
+N_STEPS = scaled(5, 8, smoke=5)
+REPEATS = scaled(5, 3, smoke=5)
+
+#: Pinned ceiling on (disabled-telemetry wall) / (no-telemetry wall).
+MAX_OVERHEAD_RATIO = 1.02
+
+SPEC_PATH = "examples/specs/ite_ctm_smoke.json"
+
+
+def _spec(tmp_path, telemetry=None):
+    spec = RunSpec.from_file(SPEC_PATH)
+    spec.n_steps = N_STEPS
+    spec.checkpoint_dir = str(tmp_path / "ckpt")
+    spec.results = None  # in-memory sink; records compared directly
+    spec.telemetry = copy.deepcopy(telemetry)
+    return spec
+
+
+def _timed_run(tmp_path, telemetry=None):
+    spec = _spec(tmp_path, telemetry)
+    simulation = Simulation(spec)
+    start = time.perf_counter()
+    result = simulation.run()
+    elapsed = time.perf_counter() - start
+    assert not result.interrupted
+    return result, elapsed, simulation
+
+
+def _checkpoint_bytes(tmp_path):
+    ckpt_dir = tmp_path / "ckpt"
+    return {
+        path.name: path.read_bytes() for path in sorted(ckpt_dir.iterdir())
+    }
+
+
+def test_telemetry_overhead_and_bitwise_identity(benchmark, tmp_path):
+    trace_path = tmp_path / "trace.json"
+    traced_telemetry = {"trace": str(trace_path)}
+
+    # Interleaved timing, alternating which leg runs first each repeat (the
+    # first run of a repeat is systematically slower, so a fixed order would
+    # bias the comparison).  The pinned statistic is the *minimum of the
+    # per-repeat pair ratios*: wall-clock noise on a shared machine is
+    # additive and positive, so the cleanest adjacent pair gives the fairest
+    # ratio — a genuine disabled-path regression slows every pair and still
+    # trips the pin, while one noisy repeat cannot.
+    baseline_s = disabled_s = traced_s = float("inf")
+    pair_ratios = []
+    baseline = disabled = traced = None
+    baseline_ckpts = traced_ckpts = None
+    for repeat in range(REPEATS):
+        legs = [("baseline", None), ("disabled", {"metrics": False})]
+        if repeat % 2:
+            legs.reverse()
+        pair = {}
+        for leg, telemetry in legs:
+            result, elapsed, _ = _timed_run(tmp_path, telemetry=telemetry)
+            pair[leg] = elapsed
+            if leg == "baseline":
+                baseline = result
+                baseline_ckpts = _checkpoint_bytes(tmp_path)
+                baseline_s = min(baseline_s, elapsed)
+            else:
+                disabled = result
+                disabled_s = min(disabled_s, elapsed)
+        pair_ratios.append(pair["disabled"] / pair["baseline"])
+
+        traced, elapsed, _ = _timed_run(tmp_path, telemetry=traced_telemetry)
+        traced_ckpts = _checkpoint_bytes(tmp_path)
+        traced_s = min(traced_s, elapsed)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    overhead_ratio = min(pair_ratios)
+    traced_ratio = traced_s / baseline_s
+
+    # Enabled-telemetry contract: bitwise results and checkpoints, real trace.
+    results_identical = traced.records == baseline.records
+    checkpoints_identical = traced_ckpts == baseline_ckpts
+    trace_doc = json.loads(trace_path.read_text())
+    events = trace_doc.get("traceEvents", [])
+    span_names = {event["name"] for event in events}
+
+    # Per-step metric deltas: same records as the reference once the added
+    # "metrics" key is removed, and every delta is a deterministic integer.
+    metrics_run, _, _ = _timed_run(tmp_path, telemetry={"metrics": True})
+    stripped = [
+        {k: v for k, v in record.items() if k != "metrics"}
+        for record in metrics_run.records
+    ]
+    metrics_match = (
+        stripped == baseline.records
+        and all("metrics" in record for record in metrics_run.records)
+        and all(
+            isinstance(value, int)
+            for record in metrics_run.records
+            for value in record["metrics"].values()
+        )
+    )
+
+    rows = [
+        ("baseline (no telemetry)", baseline_s, ""),
+        ("disabled telemetry", disabled_s, f"{overhead_ratio:.4f}x"),
+        ("traced", traced_s, f"{traced_ratio:.4f}x"),
+    ]
+    print_series(
+        f"Telemetry overhead on the ctm smoke spec ({N_STEPS} steps, "
+        f"best of {REPEATS})",
+        ("variant", "wall_s", "vs baseline"),
+        rows,
+    )
+    benchmark.extra_info["overhead_ratio"] = overhead_ratio
+    benchmark.extra_info["traced_overhead_ratio"] = traced_ratio
+    benchmark.extra_info["trace_events"] = len(events)
+
+    payload = {
+        "benchmark": "telemetry",
+        "scale": SCALE,
+        "lattice": list(baseline.spec.lattice),
+        "chi": baseline.spec.contraction.get("chi"),
+        "n_steps": N_STEPS,
+        "baseline": {"wall_s": baseline_s},
+        "disabled": {"wall_s": disabled_s},
+        "traced": {"wall_s": traced_s, "trace_events": len(events)},
+        "overhead_ratio": overhead_ratio,
+        "traced_overhead_ratio": traced_ratio,
+        "trace_events": len(events),
+        "results_bitwise_identical": results_identical,
+        "checkpoints_bitwise_identical": checkpoints_identical,
+        "metrics_records_match_baseline": metrics_match,
+    }
+    with open("BENCH_telemetry.json", "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    # Pinned regressions (mirrored by the telemetry-overhead CI job).
+    assert overhead_ratio <= MAX_OVERHEAD_RATIO, (
+        f"disabled telemetry costs {overhead_ratio:.4f}x the baseline "
+        f"(pin: <= {MAX_OVERHEAD_RATIO})"
+    )
+    assert results_identical, "traced run changed the result records"
+    assert checkpoints_identical, "traced run changed the checkpoint bytes"
+    assert metrics_match, "metrics deltas perturbed the records"
+    assert len(events) > 0, "traced run emitted an empty trace"
+    assert {"step", "einsum", "ctm_move", "absorb_row"} <= span_names, span_names

@@ -37,6 +37,7 @@ from repro.backends.interface import (
     parse_batched_subscripts,
     rewrite_batched_subscripts,
 )
+from repro.telemetry.trace import TRACER as _TRACER
 from repro.tensornetwork.contraction_path import find_path
 from repro.tensornetwork.einsum_spec import parse_einsum
 from repro.utils.flops import eigh_flops, qr_flops, svd_flops
@@ -170,7 +171,11 @@ class DistributedBackend(Backend):
     # ------------------------------------------------------------------ #
     def einsum(self, subscripts: str, *operands) -> DistTensor:
         datas = [self._data(op) for op in operands]
-        result = np.einsum(subscripts, *datas, optimize=True)
+        if _TRACER.active:
+            with _TRACER.span("einsum", subscripts=subscripts, backend="dist"):
+                result = np.einsum(subscripts, *datas, optimize=True)
+        else:
+            result = np.einsum(subscripts, *datas, optimize=True)
         self._charge_einsum(subscripts, datas, result)
         if np.ndim(result) == 0:
             # Scalar results are produced by a final reduction across processes.
@@ -202,7 +207,13 @@ class DistributedBackend(Backend):
             d.reshape(d.shape[1:]) if dim == 1 else d
             for d, dim in zip(datas, batch_dims)
         ]
-        result = np.einsum(batched_subscripts, *used, optimize=True)
+        if _TRACER.active:
+            with _TRACER.span(
+                "einsum_batched", subscripts=subscripts, batch=batch, backend="dist"
+            ):
+                result = np.einsum(batched_subscripts, *used, optimize=True)
+        else:
+            result = np.einsum(batched_subscripts, *used, optimize=True)
         self._charge_einsum(batched_subscripts, used, result)
         if output == "":
             # One reduction finalizes every item's scalar at once.

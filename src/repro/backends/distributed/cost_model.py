@@ -10,7 +10,7 @@ how curves scale), not absolute seconds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 
@@ -52,41 +52,83 @@ class MachineParameters:
         return max(1, (nprocs + per_node - 1) // per_node)
 
 
-@dataclass
-class ExecutionStats:
-    """Accumulated simulated execution statistics."""
+#: Scalar accumulators of :class:`ExecutionStats`, exposed as properties.
+_STAT_SCALARS = ("simulated_seconds", "flops", "comm_bytes", "messages")
 
-    simulated_seconds: float = 0.0
-    flops: float = 0.0
-    comm_bytes: float = 0.0
-    messages: float = 0.0
-    peak_tensor_bytes: float = 0.0
-    counts: Dict[str, int] = field(default_factory=dict)
-    seconds_by_category: Dict[str, float] = field(default_factory=dict)
+
+class ExecutionStats:
+    """Accumulated simulated execution statistics.
+
+    Backed by a private per-instance
+    :class:`~repro.telemetry.metrics.MetricsRegistry`: the scalar totals are
+    counters (``dist.flops`` etc.), the per-category breakdowns are labeled
+    counters, and the peak tensor size is a max-gauge
+    (``dist.tensor_bytes_peak``).  The public attribute API — including the
+    ``counts`` / ``seconds_by_category`` dict views — is unchanged.
+    """
+
+    def __init__(self) -> None:
+        from repro.telemetry.metrics import MetricsRegistry
+
+        self.registry = MetricsRegistry()
+        for name in _STAT_SCALARS:
+            self.registry.counter(f"dist.{name}")
+        self.registry.gauge("dist.tensor_bytes_peak")
+        self._categories: list = []
 
     def record(self, category: str, seconds: float, flops: float = 0.0,
                comm_bytes: float = 0.0, messages: float = 0.0) -> None:
-        self.simulated_seconds += seconds
-        self.flops += flops
-        self.comm_bytes += comm_bytes
-        self.messages += messages
-        self.counts[category] = self.counts.get(category, 0) + 1
-        self.seconds_by_category[category] = (
-            self.seconds_by_category.get(category, 0.0) + seconds
-        )
+        self.registry.counter("dist.simulated_seconds").add(seconds)
+        self.registry.counter("dist.flops").add(flops)
+        self.registry.counter("dist.comm_bytes").add(comm_bytes)
+        self.registry.counter("dist.messages").add(messages)
+        if category not in self._categories:
+            self._categories.append(category)
+        self.registry.counter("dist.ops", category=category).add(1)
+        self.registry.counter("dist.seconds", category=category).add(seconds)
 
     def observe_tensor(self, nbytes: float) -> None:
-        if nbytes > self.peak_tensor_bytes:
-            self.peak_tensor_bytes = nbytes
+        self.registry.gauge("dist.tensor_bytes_peak").update_max(nbytes)
+
+    @property
+    def peak_tensor_bytes(self) -> float:
+        return self.registry.value("dist.tensor_bytes_peak")
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        """Per-category operation counts (a rebuilt dict view)."""
+        return {
+            c: self.registry.value("dist.ops", category=c) for c in self._categories
+        }
+
+    @property
+    def seconds_by_category(self) -> Dict[str, float]:
+        """Per-category simulated seconds (a rebuilt dict view)."""
+        return {
+            c: self.registry.value("dist.seconds", category=c)
+            for c in self._categories
+        }
 
     def reset(self) -> None:
-        self.simulated_seconds = 0.0
-        self.flops = 0.0
-        self.comm_bytes = 0.0
-        self.messages = 0.0
-        self.peak_tensor_bytes = 0.0
-        self.counts.clear()
-        self.seconds_by_category.clear()
+        self.registry.reset()
+        self._categories.clear()
+
+
+def _stat_scalar_property(name: str) -> property:
+    key = f"dist.{name}"
+
+    def fget(self: ExecutionStats) -> float:
+        return self.registry.value(key)
+
+    def fset(self: ExecutionStats, value: float) -> None:
+        self.registry.counter(key)._set(value)
+
+    return property(fget, fset, doc=f"Accumulated {name!r} (registry-backed).")
+
+
+for _name in _STAT_SCALARS:
+    setattr(ExecutionStats, _name, _stat_scalar_property(_name))
+del _name
 
 
 class CostModel:

@@ -24,6 +24,7 @@ from repro.backends.interface import (
     parse_batched_subscripts,
     rewrite_batched_subscripts,
 )
+from repro.telemetry.trace import TRACER as _TRACER
 from repro.utils.flops import (
     FlopCounter,
     eigh_flops,
@@ -98,9 +99,14 @@ class NumPyBackend(Backend):
     # ------------------------------------------------------------------ #
     def einsum(self, subscripts: str, *operands: np.ndarray) -> np.ndarray:
         shapes = tuple(tuple(int(s) for s in op.shape) for op in operands)
-        result = np.einsum(
-            subscripts, *operands, optimize=_cached_einsum_path(subscripts, shapes)
-        )
+        path = _cached_einsum_path(subscripts, shapes)
+        # Hottest call site in the library: the explicit `active` guard keeps
+        # the disabled-tracing path free of even the span-argument dict.
+        if _TRACER.active:
+            with _TRACER.span("einsum", subscripts=subscripts):
+                result = np.einsum(subscripts, *operands, optimize=path)
+        else:
+            result = np.einsum(subscripts, *operands, optimize=path)
         if self.flop_counter is not None:
             flops = _cached_einsum_flops(subscripts, shapes)
             if flops is None:
@@ -132,11 +138,14 @@ class NumPyBackend(Backend):
             for op, dim in zip(operands, batch_dims)
         ]
         op_shapes = tuple(tuple(int(s) for s in op.shape) for op in ops)
-        result = np.einsum(
-            batched_subscripts,
-            *ops,
-            optimize=_cached_einsum_path(batched_subscripts, op_shapes),
-        )
+        path = _cached_einsum_path(batched_subscripts, op_shapes)
+        if _TRACER.active:
+            with _TRACER.span(
+                "einsum_batched", subscripts=subscripts, batch=batch
+            ):
+                result = np.einsum(batched_subscripts, *ops, optimize=path)
+        else:
+            result = np.einsum(batched_subscripts, *ops, optimize=path)
         if self.flop_counter is not None:
             flops = _cached_einsum_flops(batched_subscripts, op_shapes)
             if flops is None:

@@ -23,6 +23,7 @@ from repro.mps.mpo import MPO
 from repro.mps.mps import MPS
 from repro.peps.contraction.options import BMPS, ContractOption, Exact
 from repro.peps.contraction.stats import count_row_absorption
+from repro.telemetry.trace import traced
 
 
 def _row_to_mps(backend: Backend, row: Sequence) -> MPS:
@@ -50,6 +51,7 @@ def _row_to_mpo(backend: Backend, row: Sequence) -> MPO:
     return MPO(tensors, backend)
 
 
+@traced("single_layer_sweep")
 def single_layer_boundary_sweep(
     grid: Sequence[Sequence],
     option: ContractOption,

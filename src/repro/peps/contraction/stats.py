@@ -16,72 +16,104 @@ comparable across environment implementations.
 
 A *batched contraction* is one lockstep ``einsum_batched`` call covering a
 whole shot batch (see :mod:`repro.peps.envs.sampling`); a *strip cache hit*
-is one observable term served from an already-built column environment of a
-row strip (see :class:`repro.peps.envs.strip.StripCache`).  Both measure how
-much per-item work the batched contraction engine amortizes.
+(resp. *miss*) is one observable term served from an already-built (resp.
+forcing a build of a) column environment of a row strip (see
+:class:`repro.peps.envs.strip.StripCache`).  These measure how much per-item
+work the batched contraction engine amortizes.
+
+The counters live in the process-global
+:data:`repro.telemetry.REGISTRY` under ``peps.*`` names; the functions here
+are the stable module API over it.  Prefer :func:`reset_all` over the
+per-counter resets when starting a measurement window — it also clears
+counters this module does not know about.
 """
 
 from __future__ import annotations
 
-_COUNTS = {
-    "row_absorptions": 0,
-    "ctm_moves": 0,
-    "batched_contractions": 0,
-    "strip_cache_hits": 0,
-}
+from repro.telemetry.metrics import REGISTRY
+
+_ROW_ABSORPTIONS = REGISTRY.counter("peps.row_absorptions")
+_CTM_MOVES = REGISTRY.counter("peps.ctm_moves")
+_BATCHED_CONTRACTIONS = REGISTRY.counter("peps.batched_contractions")
+_STRIP_CACHE_HITS = REGISTRY.counter("peps.strip_cache_hits")
+_STRIP_CACHE_MISSES = REGISTRY.counter("peps.strip_cache_misses")
 
 
 def count_row_absorption(n: int = 1) -> None:
     """Record ``n`` boundary row absorptions."""
-    _COUNTS["row_absorptions"] += n
+    _ROW_ABSORPTIONS.add(n)
 
 
 def absorption_count() -> int:
     """Total row absorptions (two-layer sandwich and single-layer MPO) since reset."""
-    return _COUNTS["row_absorptions"]
+    return _ROW_ABSORPTIONS.value
 
 
 def reset_absorption_count() -> None:
-    _COUNTS["row_absorptions"] = 0
+    _ROW_ABSORPTIONS._set(0)
 
 
 def count_ctm_move(n: int = 1) -> None:
     """Record ``n`` corner-transfer-matrix moves."""
-    _COUNTS["ctm_moves"] += n
+    _CTM_MOVES.add(n)
 
 
 def ctm_move_count() -> int:
     """Total CTM moves (directional corner/edge absorptions) since reset."""
-    return _COUNTS["ctm_moves"]
+    return _CTM_MOVES.value
 
 
 def reset_ctm_move_count() -> None:
-    _COUNTS["ctm_moves"] = 0
+    _CTM_MOVES._set(0)
 
 
 def count_batched_contraction(n: int = 1) -> None:
     """Record ``n`` lockstep ``einsum_batched`` calls."""
-    _COUNTS["batched_contractions"] += n
+    _BATCHED_CONTRACTIONS.add(n)
 
 
 def batched_contraction_count() -> int:
     """Total lockstep batched contractions since reset."""
-    return _COUNTS["batched_contractions"]
+    return _BATCHED_CONTRACTIONS.value
 
 
 def reset_batched_contraction_count() -> None:
-    _COUNTS["batched_contractions"] = 0
+    _BATCHED_CONTRACTIONS._set(0)
 
 
 def count_strip_cache_hit(n: int = 1) -> None:
     """Record ``n`` strip-environment cache hits."""
-    _COUNTS["strip_cache_hits"] += n
+    _STRIP_CACHE_HITS.add(n)
 
 
 def strip_cache_hit_count() -> int:
     """Total observable terms served from cached strip column environments."""
-    return _COUNTS["strip_cache_hits"]
+    return _STRIP_CACHE_HITS.value
 
 
 def reset_strip_cache_hit_count() -> None:
-    _COUNTS["strip_cache_hits"] = 0
+    _STRIP_CACHE_HITS._set(0)
+
+
+def count_strip_cache_miss(n: int = 1) -> None:
+    """Record ``n`` strip-environment cache misses (column environments built)."""
+    _STRIP_CACHE_MISSES.add(n)
+
+
+def strip_cache_miss_count() -> int:
+    """Total observable terms that forced a strip column-environment build."""
+    return _STRIP_CACHE_MISSES.value
+
+
+def reset_strip_cache_miss_count() -> None:
+    _STRIP_CACHE_MISSES._set(0)
+
+
+def reset_all() -> None:
+    """Zero every global counter (this module's and any other registry metric).
+
+    The one reset to call at the start of a measurement window; it replaces
+    chains of per-counter ``reset_*`` calls and cannot fall out of date when
+    a new counter is added.
+    """
+    REGISTRY.reset()

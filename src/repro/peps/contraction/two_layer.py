@@ -29,6 +29,7 @@ from repro.backends.interface import Backend
 from repro.peps.contraction.options import BMPS, ContractOption, Exact, TwoLayerBMPS
 from repro.peps.contraction.single_layer import contract_single_layer
 from repro.peps.contraction.stats import count_row_absorption
+from repro.telemetry.trace import traced
 from repro.tensornetwork.einsumsvd import EinsumSVDOption, ExplicitSVD, einsumsvd
 
 #: Site tensor index order (shared with repro.peps.update).
@@ -51,6 +52,7 @@ def boundary_bond_dimensions(backend: Backend, boundary: Sequence) -> List[int]:
     return [backend.shape(t)[3] for t in boundary[:-1]]
 
 
+@traced("absorb_row")
 def absorb_sandwich_row(
     boundary: Sequence,
     ket_row: Sequence,
@@ -163,6 +165,7 @@ def _absorb_row_zipup(
     return new_boundary
 
 
+@traced("absorb_row_batched")
 def absorb_sandwich_row_batched(
     backend: Union[str, Backend, None],
     boundary: Sequence,

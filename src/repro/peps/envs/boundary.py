@@ -26,6 +26,7 @@ from repro.peps.contraction.options import BMPS, ContractOption, CTMOption, Exac
 from repro.peps.contraction.stats import (
     count_batched_contraction,
     count_strip_cache_hit,
+    count_strip_cache_miss,
 )
 from repro.peps.contraction.two_layer import (
     absorb_sandwich_row,
@@ -488,7 +489,9 @@ class BoundaryEnvironment(Environment):
         if hits:
             self.stats.strip_cache_hits += hits
             count_strip_cache_hit(hits)
-        self.stats.strip_cache_misses += misses
+        if misses:
+            self.stats.strip_cache_misses += misses
+            count_strip_cache_miss(misses)
 
     def _term_rows(self, sites: Sequence[int]) -> Tuple[int, int, List[Tuple[int, int]]]:
         positions = [self.peps.site_position(s) for s in sites]

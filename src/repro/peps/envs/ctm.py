@@ -48,6 +48,7 @@ from repro.peps.contraction.two_layer import (
     absorb_sandwich_row_batched,
 )
 from repro.peps.envs.boundary import BoundaryEnvironment, _batch_size
+from repro.telemetry.trace import span as _span
 
 #: Relative floor under which corner-Gram singular directions are treated as
 #: numerically zero when forming ``S^(-1/2)`` (pseudo-inverse regularization).
@@ -356,20 +357,21 @@ class EnvCTM(BoundaryEnvironment):
         self.stats.row_absorptions += 1
         self.stats.ctm_moves += 1
         count_ctm_move()
-        grown = absorb_sandwich_row(
-            boundary,
-            self.peps.grid[row],
-            self.peps.grid[row],
-            option=None,
-            backend=self.backend,
-            from_below=from_below,
-        )
-        if self._absorbs_exactly():
-            renormalized, spectra = grown, []
-        else:
-            renormalized, spectra = ctm_renormalize(
-                self.backend, grown, self.chi, self.cutoff
+        with _span("ctm_move", row=row, from_below=from_below):
+            grown = absorb_sandwich_row(
+                boundary,
+                self.peps.grid[row],
+                self.peps.grid[row],
+                option=None,
+                backend=self.backend,
+                from_below=from_below,
             )
+            if self._absorbs_exactly():
+                renormalized, spectra = grown, []
+            else:
+                renormalized, spectra = ctm_renormalize(
+                    self.backend, grown, self.chi, self.cutoff
+                )
         if from_below:
             self._record_spectra(self.lower_spectra, row - 1, spectra)
         else:

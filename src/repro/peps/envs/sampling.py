@@ -56,6 +56,7 @@ from repro.peps.envs.strip import (
     transfer_left_projected,
     transfer_right,
 )
+from repro.telemetry.trace import span as _span
 from repro.utils.rng import SeedLike, derive_rng, ensure_rng
 
 #: Per-column contraction specs shared by the serial helpers in
@@ -171,10 +172,11 @@ def sample_bitstrings(
     start = 0
     while start < nshots:
         stop = min(start + chunk, nshots)
-        if stop - start == 1:
-            shots[start] = _sample_serial(plan, shot_rngs[start])
-        else:
-            shots[start:stop] = _sample_lockstep(plan, shot_rngs[start:stop])
+        with _span("sample_shots", first=start, count=stop - start):
+            if stop - start == 1:
+                shots[start] = _sample_serial(plan, shot_rngs[start])
+            else:
+                shots[start:stop] = _sample_lockstep(plan, shot_rngs[start:stop])
         start = stop
     return shots
 

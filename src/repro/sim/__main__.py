@@ -1,6 +1,7 @@
 """Command-line entry point: ``python -m repro.sim <command> ...``.
 
-Two subcommands share the checkpoint/resume contract:
+Two subcommands share the checkpoint/resume contract (a third, ``report``,
+renders telemetry summaries):
 
 ``run SPEC.json [options]``
     Run the simulation a JSON :class:`~repro.sim.spec.RunSpec` describes,
@@ -18,6 +19,12 @@ Two subcommands share the checkpoint/resume contract:
     and ``--stop-after-points K`` interrupts after K points finish (exit
     code 3).  On completion the per-point streams merge into one combined
     results document.
+
+``report [PATH ...]``
+    Render summaries of telemetry artifacts: run ``.jsonl`` record streams,
+    sweep manifests, ``--trace`` files, and ``BENCH_*.json`` perf documents
+    (auto-detected per path).  With no paths, renders the perf-trajectory
+    table over every ``BENCH_*.json`` in the current directory.
 
 .. code-block:: shell
 
@@ -42,6 +49,8 @@ for the on-disk contract and ``docs/cli.md`` for the complete CLI reference).
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import signal
 import sys
 from typing import List, Optional, Sequence
@@ -65,7 +74,7 @@ EXIT_FAILED_POINTS = 1
 #: Signals that trigger checkpoint-and-exit (SIGINT covers Ctrl-C).
 _HANDLED_SIGNALS = (signal.SIGTERM, signal.SIGINT)
 
-_COMMANDS = ("run", "sweep")
+_COMMANDS = ("run", "sweep", "report")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -108,6 +117,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="override the spec's sampling lockstep group size "
                      "(1 = serial sampler; bits are identical either way)")
     run.add_argument("--name", default=None, help="override the spec's run name")
+    run.add_argument("--trace", default=None, metavar="PATH",
+                     help="record spans of this run into a Chrome trace-event "
+                     "JSON file (view in Perfetto); results stay bitwise "
+                     "identical to an untraced run")
     run.add_argument("--quiet", action="store_true",
                      help="suppress per-step record output")
     run.set_defaults(func=_main_run)
@@ -140,6 +153,19 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress per-point progress output")
     sweep.set_defaults(func=_main_sweep)
+
+    report = commands.add_parser(
+        "report", help="summarize telemetry artifacts and the perf trajectory"
+    )
+    report.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="artifacts to summarize (run .jsonl streams, sweep manifests, "
+        "--trace files, BENCH_*.json); with no paths, renders the perf "
+        "trajectory over every BENCH_*.json in the current directory",
+    )
+    report.set_defaults(func=_main_report)
     return parser
 
 
@@ -192,6 +218,10 @@ def _main_run(args) -> int:
         spec.batch_shots = max(1, args.batch_shots)
     if args.name is not None:
         spec.name = args.name
+    if args.trace is not None:
+        telemetry = dict(spec.telemetry or {})
+        telemetry["trace"] = args.trace
+        spec.telemetry = telemetry
 
     def progress(record):
         if not args.quiet:
@@ -296,6 +326,26 @@ def _main_sweep(args) -> int:
     if any(status == STATUS_FAILED for status in result.statuses.values()):
         return EXIT_FAILED_POINTS
     return 0
+
+
+def _main_report(args) -> int:
+    from repro.telemetry import report as telemetry_report
+
+    if not args.paths:
+        documents = telemetry_report.find_bench_documents(os.getcwd())
+        print("== perf trajectory (BENCH_*.json) ==")
+        print(telemetry_report.render_bench_trajectory(documents))
+        return 0
+    failed = False
+    for n, path in enumerate(args.paths):
+        if n:
+            print()
+        try:
+            print(telemetry_report.render(path))
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"== {path} ==\nerror: {exc}")
+            failed = True
+    return 1 if failed else 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -25,6 +25,8 @@ from repro.sim import io as sim_io
 from repro.sim.sinks import ResultSink, make_sink
 from repro.sim.spec import RunSpec
 from repro.sim.workloads import Workload, build_workload
+from repro.telemetry.metrics import REGISTRY
+from repro.telemetry.trace import TRACER, span as _span
 
 #: A measurement hook: ``hook(simulation, step_index) -> dict`` merged into
 #: the step record (return ``None`` for nothing).
@@ -129,16 +131,22 @@ class Simulation:
         # through it, then write_checkpoint lands the arrays in the sidecar
         # (npz) or leaves them inline, per spec.checkpoint_payload.
         store = sim_io.make_payload_store(self.spec.checkpoint_payload)
-        return sim_io.write_checkpoint(
-            self.spec.checkpoint_dir,
-            self.spec.name,
-            step,
-            self.spec.to_dict(),
-            self.workload.state_to_dict(store=store),
-            records,
-            keep=self.spec.keep_checkpoints,
-            store=store,
-        )
+        # Telemetry is observational, never part of the run definition: strip
+        # it from the persisted spec so traced and untraced sessions write
+        # bitwise-identical checkpoints (and resume across each other).
+        spec_payload = self.spec.to_dict()
+        spec_payload.pop("telemetry", None)
+        with _span("checkpoint", step=step):
+            return sim_io.write_checkpoint(
+                self.spec.checkpoint_dir,
+                self.spec.name,
+                step,
+                spec_payload,
+                self.workload.state_to_dict(store=store),
+                records,
+                keep=self.spec.keep_checkpoints,
+                store=store,
+            )
 
     def _load_checkpoint(self, resume: Union[bool, str, os.PathLike]):
         """Load the checkpoint ``resume`` names; returns ``(payload, path)``."""
@@ -230,16 +238,36 @@ class Simulation:
         steps_this_session = 0
         step = start_step
 
+        # Telemetry is purely observational: spans and metric deltas never
+        # touch RNG streams or numerics, so a traced run stays bitwise
+        # identical to an untraced one.
+        telemetry = spec.telemetry or {}
+        trace_path = telemetry.get("trace")
+        started_tracer = False
+        if trace_path is not None and not TRACER.active:
+            TRACER.start(os.fspath(trace_path))
+            started_tracer = True
+        # Per-step metric deltas are *session-windowed* counters of the global
+        # registry: deterministic integers only (no wall time), attached to
+        # each measured record under "metrics" when the spec opts in.
+        attach_metrics = bool(telemetry.get("metrics"))
+        metrics_mark = REGISTRY.snapshot() if attach_metrics else None
+
         try:
             for step in range(start_step + 1, n_steps + 1):
-                self.workload.step(step)
+                with _span("step", step=step, workload=spec.workload):
+                    self.workload.step(step)
                 if step % spec.measure_every == 0 or step == n_steps:
                     record: Dict[str, Any] = {"step": step}
-                    record.update(self.workload.measure(step))
-                    for hook in self._hooks.values():
-                        extra = hook(self, step)
-                        if extra:
-                            record.update(extra)
+                    with _span("measure", step=step):
+                        record.update(self.workload.measure(step))
+                        for hook in self._hooks.values():
+                            extra = hook(self, step)
+                            if extra:
+                                record.update(extra)
+                    if metrics_mark is not None:
+                        record["metrics"] = REGISTRY.delta(metrics_mark)
+                        metrics_mark = REGISTRY.snapshot()
                     self.sink.write(record)
                     if progress is not None:
                         progress(record)
@@ -265,6 +293,8 @@ class Simulation:
                     break
         finally:
             self.sink.close()
+            if started_tracer:
+                TRACER.stop()
 
         summary = {} if interrupted else self.workload.summary()
         return SimulationResult(

@@ -126,6 +126,17 @@ class RunSpec:
         Stream step records to this path (``.jsonl`` appends one JSON object
         per record, anything else gets one JSON document); ``None`` keeps
         records in memory only.
+    telemetry:
+        Observability config (or ``None``, the default, for none): a dict
+        with optional keys ``"metrics"`` (bool; attach the deterministic
+        per-step metric deltas of the global
+        :data:`repro.telemetry.REGISTRY` to each measured record under a
+        ``"metrics"`` key) and ``"trace"`` (path; record spans of the run
+        into a Chrome trace-event JSON file viewable in Perfetto — the
+        ``--trace PATH`` CLI flag sets this).  Telemetry is observational
+        only: it never perturbs RNG streams or numerics, is excluded from
+        the spec payload stored in checkpoints, and traced runs stay
+        bitwise identical to untraced ones (see ``docs/observability.md``).
     """
 
     name: str = "run"
@@ -146,6 +157,7 @@ class RunSpec:
     checkpoint_payload: str = "npz"
     batch_shots: Optional[int] = None
     results: Optional[str] = None
+    telemetry: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         self.lattice = (int(self.lattice[0]), int(self.lattice[1]))
@@ -174,6 +186,20 @@ class RunSpec:
                 )
         if self.seed is not None:
             self.seed = int(self.seed)
+        if self.telemetry is not None:
+            self.telemetry = dict(self.telemetry)
+            unknown = set(self.telemetry) - {"metrics", "trace"}
+            if unknown:
+                raise ValueError(
+                    f"unknown telemetry config keys {sorted(unknown)}; "
+                    "known keys: ['metrics', 'trace']"
+                )
+            self.telemetry["metrics"] = bool(self.telemetry.get("metrics", False))
+            trace_path = self.telemetry.get("trace")
+            if trace_path is not None and not isinstance(trace_path, (str, os.PathLike)):
+                raise ValueError(
+                    f"telemetry trace must be a path, got {type(trace_path).__name__}"
+                )
 
     # ------------------------------------------------------------------ #
     # Dict / JSON round trip

@@ -69,6 +69,8 @@ from repro.sim.io import (
 from repro.sim.runner import Simulation
 from repro.sim.sinks import SweepSink, make_sink
 from repro.sim.spec import SPEC_VERSION, RunSpec, apply_spec_override
+from repro.telemetry.metrics import REGISTRY
+from repro.telemetry.trace import span as _span
 from repro.utils.rng import derive_rng
 
 #: Manifest point statuses.
@@ -345,8 +347,6 @@ def _execute_point(
     record_progress: Optional[Callable[[Dict[str, Any]], None]] = None,
 ) -> Dict[str, Any]:
     """Run one child spec to completion/interruption; never raises."""
-    from repro.peps.contraction import stats
-
     flop_counter = None
     try:
         spec = RunSpec.from_dict(payload)
@@ -363,19 +363,26 @@ def _execute_point(
         register(simulation)
     resume_run = bool(allow_resume) and simulation.latest_checkpoint() is not None
     start = time.perf_counter()
-    absorptions = stats.absorption_count()
-    ctm_moves = stats.ctm_move_count()
+    # One registry snapshot/delta replaces the old hand-rolled per-counter
+    # bookkeeping: whatever global counters the point moves show up in its
+    # manifest metrics (workers each snapshot their own process's registry).
+    registry_mark = REGISTRY.snapshot()
     try:
-        result = simulation.run(resume=resume_run, progress=record_progress)
+        with _span("sweep_point", point=spec.name):
+            result = simulation.run(resume=resume_run, progress=record_progress)
     except Exception as exc:
         return {"status": STATUS_FAILED, "error": f"{type(exc).__name__}: {exc}"}
     finally:
         if register is not None:
             register(None)
+    delta = REGISTRY.delta(registry_mark)
     metrics: Dict[str, Any] = {
         "wall_time_s": time.perf_counter() - start,
-        "row_absorptions": stats.absorption_count() - absorptions,
-        "ctm_moves": stats.ctm_move_count() - ctm_moves,
+        "row_absorptions": int(delta.get("peps.row_absorptions", 0)),
+        "ctm_moves": int(delta.get("peps.ctm_moves", 0)),
+        "batched_contractions": int(delta.get("peps.batched_contractions", 0)),
+        "strip_cache_hits": int(delta.get("peps.strip_cache_hits", 0)),
+        "strip_cache_misses": int(delta.get("peps.strip_cache_misses", 0)),
     }
     if flop_counter is not None:
         metrics["flops"] = flop_counter.total

@@ -1,0 +1,257 @@
+"""Render human-readable summaries of telemetry artifacts.
+
+This module backs ``python -m repro.sim report``.  It understands four kinds
+of input, auto-detected per file:
+
+* **run records** — a ``.jsonl`` result stream written by ``run`` (one JSON
+  record per line, optionally carrying per-step ``metrics`` deltas),
+* **sweep manifest** — a ``manifest.json`` written by ``sweep`` (per-point
+  statuses and metrics),
+* **trace** — a Chrome trace-event JSON written by ``--trace``,
+* **perf document** — one of the ``BENCH_*.json`` family the benchmark
+  harnesses emit into the repo root (uploaded as CI artifacts).
+
+The *perf-trajectory* view (:func:`render_bench_trajectory`) folds the whole
+``BENCH_*.json`` family into one table — one row per benchmark with its
+headline numbers — so cross-PR perf regressions are visible in one place.
+
+All functions here are pure (input document -> string); file loading is the
+thin :func:`load` wrapper so tests can feed dicts directly.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "classify",
+    "load",
+    "render",
+    "render_run_summary",
+    "render_sweep_summary",
+    "render_trace_summary",
+    "render_bench_trajectory",
+    "find_bench_documents",
+]
+
+
+# ---------------------------------------------------------------------- #
+# Formatting helpers
+# ---------------------------------------------------------------------- #
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for n, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip())
+        if n == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# Input detection / loading
+# ---------------------------------------------------------------------- #
+def classify(document: Any) -> str:
+    """One of ``"run"``, ``"sweep"``, ``"trace"``, ``"bench"``."""
+    if isinstance(document, list):
+        return "run"
+    if isinstance(document, dict):
+        if "traceEvents" in document:
+            return "trace"
+        if "benchmark" in document:
+            return "bench"
+        if "points" in document and isinstance(document.get("points"), list):
+            return "sweep"
+    raise ValueError(f"unrecognized telemetry document ({type(document).__name__})")
+
+
+def load(path: str) -> Tuple[str, Any]:
+    """Load and classify one artifact file (jsonl record streams included)."""
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    if path.endswith(".jsonl"):
+        document: Any = [json.loads(line) for line in text.splitlines() if line.strip()]
+    else:
+        document = json.loads(text)
+        # A combined sweep results document is also JSON-per-line in one file.
+        if not isinstance(document, (dict, list)):
+            raise ValueError(f"{path}: not a JSON document")
+    return classify(document), document
+
+
+def render(path: str) -> str:
+    """Render one artifact file to its summary text."""
+    kind, document = load(path)
+    title = f"== {os.path.basename(path)} ({kind}) =="
+    body = {
+        "run": render_run_summary,
+        "sweep": render_sweep_summary,
+        "trace": render_trace_summary,
+        "bench": lambda doc: render_bench_trajectory({os.path.basename(path): doc}),
+    }[kind](document)
+    return f"{title}\n{body}"
+
+
+# ---------------------------------------------------------------------- #
+# Renderers
+# ---------------------------------------------------------------------- #
+def render_run_summary(records: List[Dict[str, Any]]) -> str:
+    """Summarize a run's record stream: extent, final record, metric totals."""
+    if not records:
+        return "no records"
+    steps = [r.get("step") for r in records if isinstance(r.get("step"), int)]
+    lines = [f"records: {len(records)}"]
+    if steps:
+        lines.append(f"steps:   {min(steps)}..{max(steps)}")
+    final = records[-1]
+    scalars = {
+        k: v
+        for k, v in final.items()
+        if isinstance(v, (int, float)) and not isinstance(v, bool) and k != "step"
+    }
+    if scalars:
+        lines.append(
+            "final:   " + " ".join(f"{k}={_fmt(v)}" for k, v in scalars.items())
+        )
+    totals: Dict[str, float] = {}
+    for record in records:
+        metrics = record.get("metrics")
+        if isinstance(metrics, dict):
+            for key, value in metrics.items():
+                if isinstance(value, (int, float)):
+                    totals[key] = totals.get(key, 0) + value
+    if totals:
+        lines.append("metric totals over all steps:")
+        lines.append(
+            _table(
+                ["metric", "total"],
+                [(k, totals[k]) for k in sorted(totals)],
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_sweep_summary(manifest: Dict[str, Any]) -> str:
+    """Summarize a sweep manifest: status roll-up plus a per-point table."""
+    points = manifest.get("points", [])
+    statuses: Dict[str, int] = {}
+    for point in points:
+        status = point.get("status", "?")
+        statuses[status] = statuses.get(status, 0) + 1
+    header = f"sweep: {manifest.get('name', '?')}  points: {len(points)}  " + " ".join(
+        f"{k}={v}" for k, v in sorted(statuses.items())
+    )
+    metric_keys: List[str] = []
+    for point in points:
+        for key in (point.get("metrics") or {}):
+            if key not in metric_keys and not isinstance(
+                (point.get("metrics") or {}).get(key), dict
+            ):
+                metric_keys.append(key)
+    rows = []
+    for point in points:
+        metrics = point.get("metrics") or {}
+        rows.append(
+            [point.get("name", "?"), point.get("status", "?"),
+             point.get("final_step", "")]
+            + [metrics.get(k, "") for k in metric_keys]
+        )
+    table = _table(["point", "status", "final_step"] + metric_keys, rows)
+    return f"{header}\n{table}"
+
+
+def render_trace_summary(document: Dict[str, Any]) -> str:
+    """Aggregate a Chrome trace by span name: calls, total/mean/max duration."""
+    events = [
+        e for e in document.get("traceEvents", []) if e.get("ph") == "X"
+    ]
+    if not events:
+        return "no span events"
+    by_name: Dict[str, List[float]] = {}
+    for event in events:
+        by_name.setdefault(event.get("name", "?"), []).append(
+            float(event.get("dur", 0.0))
+        )
+    rows = []
+    for name, durs in sorted(by_name.items(), key=lambda kv: -sum(kv[1])):
+        total_ms = sum(durs) / 1e3
+        rows.append(
+            [name, len(durs), total_ms, total_ms / len(durs), max(durs) / 1e3]
+        )
+    span_ms = (
+        max(e["ts"] + e.get("dur", 0.0) for e in events) - min(e["ts"] for e in events)
+    ) / 1e3
+    return (
+        f"span events: {len(events)}  wall extent: {span_ms:.4g} ms\n"
+        + _table(["span", "calls", "total_ms", "mean_ms", "max_ms"], rows)
+    )
+
+
+#: Per-benchmark headline fields for the trajectory table, in preference
+#: order.  Unknown benchmarks fall back to their top-level numeric scalars.
+_HEADLINE_FIELDS = (
+    "einsum_call_ratio",
+    "sampling_speedup",
+    "npz_over_inline_bytes",
+    "overhead_ratio",
+    "trace_events",
+)
+
+
+def _bench_row(name: str, doc: Dict[str, Any]) -> List[Any]:
+    points = doc.get("points")
+    if isinstance(points, list) and points:
+        wall = sum(p.get("wall_time_s", 0.0) for p in points)
+        flops = sum(p.get("flops", 0.0) for p in points)
+        headline = f"points={len(points)} flops={_fmt(flops)}"
+    else:
+        wall = sum(
+            v.get("wall_s", 0.0)
+            for v in doc.values()
+            if isinstance(v, dict) and "wall_s" in v
+        )
+        parts = [
+            f"{field}={_fmt(doc[field])}"
+            for field in _HEADLINE_FIELDS
+            if field in doc
+        ]
+        if not parts:
+            parts = [
+                f"{k}={_fmt(v)}"
+                for k, v in doc.items()
+                if isinstance(v, (int, float)) and not isinstance(v, bool)
+            ][:3]
+        headline = " ".join(parts)
+    return [name, doc.get("benchmark", "?"), doc.get("scale", "?"), wall, headline]
+
+
+def render_bench_trajectory(documents: Dict[str, Dict[str, Any]]) -> str:
+    """One row per ``BENCH_*.json`` document: the cross-PR perf trajectory."""
+    if not documents:
+        return "no BENCH_*.json documents found"
+    rows = [_bench_row(name, documents[name]) for name in sorted(documents)]
+    return _table(["file", "benchmark", "scale", "wall_s", "headline"], rows)
+
+
+def find_bench_documents(directory: str = ".") -> Dict[str, Dict[str, Any]]:
+    """Load every ``BENCH_*.json`` in ``directory`` keyed by file name."""
+    documents: Dict[str, Dict[str, Any]] = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                documents[os.path.basename(path)] = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            continue
+    return documents

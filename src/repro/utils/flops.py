@@ -14,7 +14,7 @@ meant to match hardware counters exactly, only to preserve relative scaling.
 from __future__ import annotations
 
 from math import prod
-from typing import Dict, Iterable, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 
 def matmul_flops(m: int, k: int, n: int, complex_dtype: bool = True) -> float:
@@ -78,29 +78,40 @@ class FlopCounter:
     The NumPy backend can optionally be wrapped with a counter so that the
     Table II benchmark measures *algorithmic* cost independently of machine
     noise; the distributed backend always feeds one.
+
+    The totals live in a private per-counter
+    :class:`~repro.telemetry.metrics.MetricsRegistry` as labeled counters
+    (``flops{category=einsum}`` / ``calls{category=einsum}``); the public API
+    is unchanged and insertion-ordered like the dict-backed original.
     """
 
     def __init__(self) -> None:
-        self._totals: Dict[str, float] = {}
-        self._calls: Dict[str, int] = {}
+        from repro.telemetry.metrics import MetricsRegistry
+
+        self.registry = MetricsRegistry()
+        self._categories: List[str] = []
 
     def add(self, category: str, flops: float, calls: int = 1) -> None:
         if flops < 0:
             raise ValueError(f"negative flop count: {flops}")
-        self._totals[category] = self._totals.get(category, 0.0) + float(flops)
-        self._calls[category] = self._calls.get(category, 0) + int(calls)
+        if category not in self._categories:
+            self._categories.append(category)
+        self.registry.counter("flops", category=category).add(float(flops))
+        self.registry.counter("calls", category=category).add(int(calls))
 
     @property
     def total(self) -> float:
-        return sum(self._totals.values())
+        return sum(self.by_category().values())
 
     @property
     def total_calls(self) -> int:
         """Number of counted backend operations (one batched call counts once)."""
-        return sum(self._calls.values())
+        return sum(self.calls_by_category().values())
 
     def by_category(self) -> Dict[str, float]:
-        return dict(self._totals)
+        return {
+            c: self.registry.value("flops", category=c) for c in self._categories
+        }
 
     def calls_by_category(self) -> Dict[str, int]:
         """Per-category call counts — the batching benchmarks compare these.
@@ -109,11 +120,13 @@ class FlopCounter:
         into one ``"einsum_batched"`` call, so the call counts (unlike the
         flop totals) shrink with the batch size.
         """
-        return dict(self._calls)
+        return {
+            c: self.registry.value("calls", category=c) for c in self._categories
+        }
 
     def reset(self) -> None:
-        self._totals.clear()
-        self._calls.clear()
+        self.registry.reset()
+        self._categories.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         parts = ", ".join(f"{k}={v:.3g}" for k, v in sorted(self._totals.items()))

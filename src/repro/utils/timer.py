@@ -15,7 +15,7 @@ from __future__ import annotations
 import time
 from collections import defaultdict
 from contextlib import contextmanager
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Union
 
 
 class WallClock:
@@ -77,6 +77,30 @@ class Timer:
     def report(self) -> Dict[str, float]:
         """A copy of all accumulated totals."""
         return dict(self._totals)
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Every section as ``{name: {"total_s": ..., "count": ...}}``.
+
+        The export the benchmark harnesses serialize instead of formatting
+        totals by hand; round-trips through JSON unchanged.
+        """
+        return {
+            name: {"total_s": self._totals[name], "count": self._counts[name]}
+            for name in self._totals
+        }
+
+    def merge(self, other: Union["Timer", Dict[str, Dict[str, float]]]) -> "Timer":
+        """Fold another timer (or its :meth:`as_dict` export) into this one.
+
+        Totals and counts add per section, so merging per-worker timers
+        yields the same report as if one timer had covered all the work.
+        Returns ``self`` for chaining.
+        """
+        sections = other.as_dict() if isinstance(other, Timer) else other
+        for name, entry in sections.items():
+            self._totals[name] += float(entry["total_s"])
+            self._counts[name] += int(entry["count"])
+        return self
 
     def reset(self) -> None:
         self._totals.clear()

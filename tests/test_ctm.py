@@ -298,8 +298,8 @@ class TestCTMOptionRouting:
 
     def test_global_ctm_move_counter(self):
         state = peps.random_peps(2, 2, bond_dim=2, seed=46)
-        stats.reset_ctm_move_count()
+        stats.reset_all()
         EnvCTM(state, CTMOption(chi=4)).build()
         assert stats.ctm_move_count() == 3
-        stats.reset_ctm_move_count()
+        stats.reset_all()
         assert stats.ctm_move_count() == 0

@@ -40,7 +40,7 @@ def help_texts(monkeypatch, capsys):
     """The parser's help output at the width the docs were generated at."""
     monkeypatch.setenv("COLUMNS", "80")
     out = {"main": build_parser().format_help()}
-    for name in ("run", "sweep"):
+    for name in ("run", "sweep", "report"):
         # Public argparse behavior: `<cmd> --help` prints and exits 0.
         with pytest.raises(SystemExit) as exit_info:
             build_parser().parse_args([name, "--help"])
@@ -55,7 +55,7 @@ class TestHelpSnapshots:
         snapshots = {
             m.group("name"): m.group("body") for m in SNAPSHOT_RE.finditer(read(CLI_DOC))
         }
-        assert set(snapshots) == {"main", "run", "sweep"}
+        assert set(snapshots) == {"main", "run", "sweep", "report"}
         for name, expected in help_texts(monkeypatch, capsys).items():
             assert snapshots[name].rstrip("\n") == expected.rstrip("\n"), (
                 f"docs/cli.md help-snapshot {name!r} is stale; regenerate with "
@@ -99,5 +99,6 @@ class TestMarkdownLinks:
     def test_readme_links_every_doc_page(self):
         readme = read(os.path.join(REPO_ROOT, "README.md"))
         for name in ("docs/checkpoint-format.md", "docs/cli.md",
-                     "docs/architecture.md", "docs/perf.md"):
+                     "docs/architecture.md", "docs/perf.md",
+                     "docs/observability.md"):
             assert name in readme, f"README.md does not link {name}"

@@ -261,11 +261,11 @@ class TestIteAbsorptionCount:
         from repro.algorithms.ite import ImaginaryTimeEvolution
 
         ham = transverse_field_ising(3, 3)
-        stats.reset_absorption_count()
+        stats.reset_all()
         legacy = ImaginaryTimeEvolution(ham, tau=0.05, reuse_environment=False).run(3)
         legacy_count = stats.absorption_count()
 
-        stats.reset_absorption_count()
+        stats.reset_all()
         persistent = ImaginaryTimeEvolution(ham, tau=0.05, reuse_environment=True).run(3)
         persistent_count = stats.absorption_count()
 

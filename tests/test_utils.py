@@ -124,6 +124,49 @@ class TestTimer:
         assert timer.count("x") == 0
         assert timer.report() == {}
 
+    def test_timer_zero_length_section_counts(self):
+        # An empty body must still bump the count and keep the total finite
+        # and non-negative (perf_counter deltas can be arbitrarily small).
+        timer = Timer()
+        with timer.section("noop"):
+            pass
+        assert timer.count("noop") == 1
+        assert 0.0 <= timer.total("noop") < 1.0
+
+    def test_timer_untouched_section_reads_zero(self):
+        timer = Timer()
+        assert timer.total("never") == 0.0
+        assert timer.count("never") == 0
+
+    def test_timer_as_dict_round_trips_json(self):
+        import json
+
+        timer = Timer()
+        with timer.section("a"):
+            pass
+        with timer.section("a"):
+            pass
+        export = json.loads(json.dumps(timer.as_dict()))
+        assert export["a"]["count"] == 2
+        assert export["a"]["total_s"] == timer.total("a")
+
+    def test_timer_merge_timer_and_export(self):
+        a, b = Timer(), Timer()
+        with a.section("shared"):
+            pass
+        with b.section("shared"):
+            pass
+        with b.section("only_b"):
+            pass
+        merged = a.merge(b)
+        assert merged is a  # chains
+        assert a.count("shared") == 2
+        assert a.count("only_b") == 1
+        # Merging an as_dict export (e.g. from another process) works too.
+        a.merge({"shared": {"total_s": 1.5, "count": 3}})
+        assert a.count("shared") == 5
+        assert a.total("shared") >= 1.5
+
 
 class TestFlops:
     def test_matmul_flops_scales_cubically(self):
@@ -137,6 +180,21 @@ class TestFlops:
     def test_contraction_flops_inconsistent_volumes_raise(self):
         with pytest.raises(ValueError):
             contraction_flops((4, 5), (6, 7), contracted_a=[1], contracted_b=[0])
+
+    def test_real_dtype_costs_are_cheaper(self):
+        # complex128 arithmetic costs 4x a real multiply-add (8 vs 2 flops
+        # per fused op); the estimators expose that through complex_dtype.
+        assert matmul_flops(10, 10, 10, complex_dtype=False) == 2.0 * 1000
+        assert matmul_flops(10, 10, 10) == 4 * matmul_flops(
+            10, 10, 10, complex_dtype=False
+        )
+        assert svd_flops(100, 20, complex_dtype=False) == svd_flops(100, 20) / 4
+        assert qr_flops(100, 20, complex_dtype=False) == qr_flops(100, 20) / 4
+        assert eigh_flops(64, complex_dtype=False) == eigh_flops(64) / 4
+        assert contraction_flops(
+            (4, 5), (5, 6), contracted_a=[1], contracted_b=[0],
+            complex_dtype=False,
+        ) == matmul_flops(4, 5, 6, complex_dtype=False)
 
     def test_factorization_flops_positive_and_monotone(self):
         assert svd_flops(100, 20) > svd_flops(50, 20) > 0
@@ -159,6 +217,25 @@ class TestFlops:
     def test_flop_counter_rejects_negative(self):
         with pytest.raises(ValueError):
             FlopCounter().add("x", -1.0)
+
+    def test_flop_counter_zero_flop_category_still_listed(self):
+        # add(cat, 0.0) registers the category (one call, zero flops): the
+        # call-count views must include it even though no work was charged.
+        counter = FlopCounter()
+        counter.add("probe", 0.0)
+        assert counter.by_category() == {"probe": 0.0}
+        assert counter.calls_by_category() == {"probe": 1}
+        assert counter.total == 0.0
+        assert counter.total_calls == 1
+
+    def test_flop_counter_preserves_insertion_order(self):
+        counter = FlopCounter()
+        for category in ("svd", "einsum", "qr"):
+            counter.add(category, 1.0)
+        assert list(counter.by_category()) == ["svd", "einsum", "qr"]
+        counter.reset()
+        assert counter.by_category() == {}
+        assert counter.total_calls == 0
 
     def test_tensor_bytes_complex128(self):
         assert tensor_bytes((4, 4)) == 16 * 16
