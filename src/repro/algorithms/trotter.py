@@ -9,10 +9,11 @@ to one such sweep over every nearest-neighbour bond of the lattice.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.lattice import LatticeLike, as_lattice
 from repro.operators.hamiltonians import Hamiltonian
 from repro.peps.peps import PEPS
 from repro.peps.update import UpdateOption
@@ -27,8 +28,8 @@ def trotter_gates(
 
 
 def tebd_gate_layer(
-    nrow: int,
-    ncol: int,
+    lattice: LatticeLike,
+    ncol: Optional[int] = None,
     rng: SeedLike = None,
     hermitian_coupling: bool = True,
 ) -> List[Tuple[Tuple[int, int], np.ndarray]]:
@@ -38,16 +39,21 @@ def tebd_gate_layer(
     layer of TEBD operators without caring about a specific Hamiltonian.
     Each gate is ``exp(-tau * K)`` for a random Hermitian ``K`` (so it is a
     generic non-unitary ITE-style operator of full operator Schmidt rank).
+
+    The sweep order comes from the lattice's bond partition, color group after
+    color group.  One random gate is drawn per bond *in that order*, so the
+    RNG stream follows the schedule; on a single-color square lattice the
+    partition is the canonical row-major order and the layer is bitwise
+    identical to the historical open-coded enumeration.  Accepts a
+    :class:`repro.lattice.Lattice` (with ``ncol=None``) or the legacy
+    ``(nrow, ncol)`` integer pair.
     """
+    lat = as_lattice(lattice, ncol)
     rng = ensure_rng(rng)
     pairs: List[Tuple[int, int]] = []
-    for r in range(nrow):
-        for c in range(ncol):
-            site = r * ncol + c
-            if c + 1 < ncol:
-                pairs.append((site, site + 1))
-            if r + 1 < nrow:
-                pairs.append((site, site + ncol))
+    for group in lat.bond_partition("nn"):
+        for bond in group:
+            pairs.append(bond.indices(lat.ncol))
     gates = []
     for pair in pairs:
         k = rng.standard_normal((4, 4)) + 1j * rng.standard_normal((4, 4))

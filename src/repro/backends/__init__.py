@@ -20,7 +20,7 @@ Use :func:`get_backend` to obtain a backend instance by name.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 from repro.backends.interface import (
     Backend,

@@ -11,7 +11,6 @@ profile exactly as the paper compares them on Stampede2.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

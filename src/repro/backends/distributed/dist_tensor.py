@@ -10,7 +10,7 @@ written for NumPy arrays (``a + b``, ``2.0 * t``, ``-t``) works unchanged.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

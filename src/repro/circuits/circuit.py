@@ -9,8 +9,8 @@ circuits, VQE ansatz circuits) run the *same* circuit through both engines.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple, Union
 
 import numpy as np
 

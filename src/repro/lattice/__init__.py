@@ -1,0 +1,47 @@
+"""First-class lattice/geometry layer.
+
+One :class:`Lattice` object describes the site grid, the bonds (with
+orientation, neighbor kind, sublattice color and coupling scale) and the
+bond partition a gate schedule sweeps — and every consumer (Hamiltonian
+builders, Trotter scheduling, PEPS pair updates, ``RunSpec`` parsing)
+derives its geometry from it instead of hard-coding the square lattice::
+
+    from repro.lattice import SquareLattice, CheckerboardLattice
+
+    lat = CheckerboardLattice(4, 4, couplings={"a": 1.0, "b": 0.5})
+    for bond in lat.bonds("nn"):
+        a, b = bond.indices(lat.ncol)
+        ...  # bond.orientation, bond.sublattice, bond.scale
+"""
+
+from repro.lattice.geometry import (
+    BOND_KINDS,
+    LATTICE_KINDS,
+    ORIENTATIONS,
+    Bond,
+    CheckerboardLattice,
+    Lattice,
+    LatticeLike,
+    Site,
+    SquareLattice,
+    as_lattice,
+    bond_between,
+    lattice_from_config,
+    register_lattice,
+)
+
+__all__ = [
+    "Bond",
+    "BOND_KINDS",
+    "CheckerboardLattice",
+    "Lattice",
+    "LatticeLike",
+    "LATTICE_KINDS",
+    "ORIENTATIONS",
+    "Site",
+    "SquareLattice",
+    "as_lattice",
+    "bond_between",
+    "lattice_from_config",
+    "register_lattice",
+]

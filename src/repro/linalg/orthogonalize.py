@@ -24,7 +24,7 @@ QR-SVD evolution algorithm).
 from __future__ import annotations
 
 from math import prod
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

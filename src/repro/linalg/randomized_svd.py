@@ -19,7 +19,7 @@ distributed backend without expensive reshapes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

@@ -9,7 +9,7 @@ boundary physical leg (the PEPS down leg).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from typing import List, Sequence, Union
 
 import numpy as np
 

@@ -1,17 +1,25 @@
 """Lattice Hamiltonians as collections of local terms.
 
 A :class:`Hamiltonian` is a sum of :class:`LocalTerm` objects, each acting on
-one or two sites of a 2D square lattice (sites are flat row-major indices).
-Both driver applications of the paper are expressed this way:
+one or two sites of a 2D lattice (sites are flat row-major indices).  The
+geometry — which pairs are bonded, in which order, with what per-bond
+coupling scale — comes from a :class:`repro.lattice.Lattice`; builders
+iterate ``lattice.bonds()`` instead of open-coding double loops, so new
+geometries (checkerboard, anisotropic couplings) change the emitted terms
+without touching any builder.  The shipped builders:
 
 * :func:`heisenberg_j1j2` — the spin-1/2 J1-J2 Heisenberg model of Eq. (7),
   with nearest-neighbour, diagonal next-nearest-neighbour and magnetic-field
   terms (used for the imaginary-time-evolution study, Fig. 13),
 * :func:`transverse_field_ising` — the TFI model of Eq. (8) (used for the
-  VQE study, Fig. 14).
+  VQE study, Fig. 14),
+* :func:`hubbard` — the hardcore-boson Hubbard family (hopping,
+  neighbour interaction, chemical potential).
 
 :meth:`Hamiltonian.trotter_gates` produces the first-order Trotter-Suzuki
-gate sequence ``exp(-tau * H_j)`` consumed by TEBD/ITE.
+gate sequence ``exp(-tau * H_j)`` consumed by TEBD/ITE; term order follows
+the lattice's bond partition, so partitioned geometries get their sweep
+order for free.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.lattice import Lattice, LatticeLike, as_lattice
 from repro.operators.observable import Observable
 from repro.operators.pauli import PauliString, pauli_matrix
 
@@ -60,13 +69,20 @@ class LocalTerm:
 
 
 class Hamiltonian:
-    """A sum of local terms on an ``nrow x ncol`` square lattice."""
+    """A sum of local terms on a 2D lattice.
 
-    def __init__(self, nrow: int, ncol: int, terms: Iterable[LocalTerm] = ()) -> None:
-        if nrow < 1 or ncol < 1:
-            raise ValueError(f"lattice dimensions must be positive, got {nrow}x{ncol}")
-        self.nrow = int(nrow)
-        self.ncol = int(ncol)
+    The first argument is the geometry: a :class:`repro.lattice.Lattice`,
+    or the historical ``(nrow, ncol)`` integer pair, which builds a uniform
+    :class:`~repro.lattice.SquareLattice`.
+    """
+
+    def __init__(
+        self,
+        lattice: LatticeLike,
+        ncol: Optional[int] = None,
+        terms: Iterable[LocalTerm] = (),
+    ) -> None:
+        self.lattice = as_lattice(lattice, ncol)
         self.terms: List[LocalTerm] = []
         for term in terms:
             self.add_term(term)
@@ -75,14 +91,20 @@ class Hamiltonian:
     # Construction
     # ------------------------------------------------------------------ #
     @property
+    def nrow(self) -> int:
+        return self.lattice.nrow
+
+    @property
+    def ncol(self) -> int:
+        return self.lattice.ncol
+
+    @property
     def n_sites(self) -> int:
-        return self.nrow * self.ncol
+        return self.lattice.n_sites
 
     def site_index(self, row: int, col: int) -> int:
         """Flat row-major index of lattice position ``(row, col)``."""
-        if not (0 <= row < self.nrow and 0 <= col < self.ncol):
-            raise ValueError(f"({row}, {col}) outside a {self.nrow}x{self.ncol} lattice")
-        return row * self.ncol + col
+        return self.lattice.site_index(row, col)
 
     def add_term(self, term: LocalTerm) -> None:
         for site in term.sites:
@@ -99,29 +121,17 @@ class Hamiltonian:
         self.add_term(LocalTerm((int(site_a), int(site_b)), matrix))
 
     # ------------------------------------------------------------------ #
-    # Lattice geometry helpers
+    # Lattice geometry helpers (delegated to the lattice layer)
     # ------------------------------------------------------------------ #
     def nearest_neighbor_pairs(self) -> List[Tuple[int, int]]:
-        """All horizontally and vertically adjacent site pairs."""
-        pairs = []
-        for r in range(self.nrow):
-            for c in range(self.ncol):
-                if c + 1 < self.ncol:
-                    pairs.append((self.site_index(r, c), self.site_index(r, c + 1)))
-                if r + 1 < self.nrow:
-                    pairs.append((self.site_index(r, c), self.site_index(r + 1, c)))
-        return pairs
+        """All horizontally and vertically adjacent site pairs, in bond order."""
+        ncol = self.ncol
+        return [bond.indices(ncol) for bond in self.lattice.bonds("nn")]
 
     def diagonal_neighbor_pairs(self) -> List[Tuple[int, int]]:
-        """All diagonally adjacent site pairs (both diagonals)."""
-        pairs = []
-        for r in range(self.nrow - 1):
-            for c in range(self.ncol):
-                if c + 1 < self.ncol:
-                    pairs.append((self.site_index(r, c), self.site_index(r + 1, c + 1)))
-                if c - 1 >= 0:
-                    pairs.append((self.site_index(r, c), self.site_index(r + 1, c - 1)))
-        return pairs
+        """All diagonally adjacent site pairs (both diagonals), in bond order."""
+        ncol = self.ncol
+        return [bond.indices(ncol) for bond in self.lattice.bonds("nnn")]
 
     # ------------------------------------------------------------------ #
     # Conversions
@@ -215,9 +225,21 @@ def _pauli_decompose(term: LocalTerm) -> List[PauliString]:
 # --------------------------------------------------------------------- #
 # Model builders
 # --------------------------------------------------------------------- #
+def _scheduled_bonds(lattice: Lattice, kind: str):
+    """Bonds in sweep order: the lattice's partition groups, concatenated.
+
+    Single-color lattices (plain square) yield the canonical row-major bond
+    order — keeping term order, and with it every Trotter/RNG stream,
+    bitwise identical to the historical open-coded loops.  Multi-color
+    lattices (checkerboard) yield color group after color group.
+    """
+    for group in lattice.bond_partition(kind):
+        yield from group
+
+
 def heisenberg_j1j2(
-    nrow: int,
-    ncol: int,
+    lattice: LatticeLike,
+    ncol: Optional[int] = None,
     j1: Sequence[float] = (1.0, 1.0, 1.0),
     j2: Sequence[float] = (0.5, 0.5, 0.5),
     field: Sequence[float] = (0.2, 0.2, 0.2),
@@ -226,8 +248,10 @@ def heisenberg_j1j2(
 
     Parameters
     ----------
-    nrow, ncol:
-        Lattice dimensions.
+    lattice, ncol:
+        The geometry: a :class:`repro.lattice.Lattice` (and ``ncol=None``)
+        or the historical ``(nrow, ncol)`` integer pair.  Per-bond coupling
+        scales of the lattice multiply the two-site terms.
     j1:
         ``(Jx1, Jy1, Jz1)`` nearest-neighbour couplings.
     j2:
@@ -240,15 +264,20 @@ def heisenberg_j1j2(
     """
     x, y, z = pauli_matrix("X"), pauli_matrix("Y"), pauli_matrix("Z")
     xx, yy, zz = np.kron(x, x), np.kron(y, y), np.kron(z, z)
-    ham = Hamiltonian(nrow, ncol)
+    ham = Hamiltonian(lattice, ncol)
+    lat = ham.lattice
     jx1, jy1, jz1 = j1
     jx2, jy2, jz2 = j2
     hx, hy, hz = field
-    for a, b in ham.nearest_neighbor_pairs():
-        ham.add_two_site(a, b, jx1 * xx + jy1 * yy + jz1 * zz)
+    nn_matrix = jx1 * xx + jy1 * yy + jz1 * zz
+    for bond in _scheduled_bonds(lat, "nn"):
+        a, b = bond.indices(lat.ncol)
+        ham.add_two_site(a, b, bond.scale * nn_matrix)
     if any(abs(c) > 0 for c in j2):
-        for a, b in ham.diagonal_neighbor_pairs():
-            ham.add_two_site(a, b, jx2 * xx + jy2 * yy + jz2 * zz)
+        nnn_matrix = jx2 * xx + jy2 * yy + jz2 * zz
+        for bond in _scheduled_bonds(lat, "nnn"):
+            a, b = bond.indices(lat.ncol)
+            ham.add_two_site(a, b, bond.scale * nnn_matrix)
     if any(abs(c) > 0 for c in field):
         for s in range(ham.n_sites):
             ham.add_one_site(s, hx * x + hy * y + hz * z)
@@ -256,21 +285,61 @@ def heisenberg_j1j2(
 
 
 def transverse_field_ising(
-    nrow: int,
-    ncol: int,
+    lattice: LatticeLike,
+    ncol: Optional[int] = None,
     jz: float = -1.0,
     hx: float = -3.5,
 ) -> Hamiltonian:
     """The transverse-field Ising model of Eq. (8).
 
     The paper's VQE study (Fig. 14) uses the ferromagnetic model with
-    ``jz = -1`` and ``hx = -3.5`` on a 3x3 lattice.
+    ``jz = -1`` and ``hx = -3.5`` on a 3x3 lattice.  Per-bond coupling
+    scales of the lattice multiply the ``ZZ`` terms.
     """
     x, z = pauli_matrix("X"), pauli_matrix("Z")
     zz = np.kron(z, z)
-    ham = Hamiltonian(nrow, ncol)
-    for a, b in ham.nearest_neighbor_pairs():
-        ham.add_two_site(a, b, jz * zz)
+    ham = Hamiltonian(lattice, ncol)
+    lat = ham.lattice
+    for bond in _scheduled_bonds(lat, "nn"):
+        a, b = bond.indices(lat.ncol)
+        ham.add_two_site(a, b, bond.scale * (jz * zz))
     for s in range(ham.n_sites):
         ham.add_one_site(s, hx * x)
+    return ham
+
+
+def hubbard(
+    lattice: LatticeLike,
+    ncol: Optional[int] = None,
+    t: float = 1.0,
+    v: float = 0.0,
+    mu: float = 0.0,
+) -> Hamiltonian:
+    """The hardcore-boson Hubbard model (tenpy's Bose-Hubbard family, U → ∞).
+
+    On the two-dimensional local space ``{|0>, |1>}`` (empty / occupied)::
+
+        H = -t  Σ_<ij> (b†_i b_j + b†_j b_i)
+           + v  Σ_<ij> n_i n_j
+           - mu Σ_i    n_i
+
+    with ``b = [[0, 1], [0, 0]]`` and ``n = diag(0, 1)``.  The hardcore
+    constraint replaces the on-site ``U`` of the soft-core model, so the
+    neighbour interaction ``v`` plays its role.  Per-bond coupling scales of
+    the lattice multiply both two-site pieces, which is how checkerboard or
+    anisotropic Hubbard variants are expressed.
+    """
+    b_op = np.array([[0.0, 1.0], [0.0, 0.0]], dtype=np.complex128)
+    n_op = np.array([[0.0, 0.0], [0.0, 1.0]], dtype=np.complex128)
+    hop = np.kron(b_op.conj().T, b_op) + np.kron(b_op, b_op.conj().T)
+    nn = np.kron(n_op, n_op)
+    ham = Hamiltonian(lattice, ncol)
+    lat = ham.lattice
+    pair_matrix = -float(t) * hop + float(v) * nn
+    for bond in _scheduled_bonds(lat, "nn"):
+        a, b = bond.indices(lat.ncol)
+        ham.add_two_site(a, b, bond.scale * pair_matrix)
+    if abs(mu) > 0:
+        for s in range(ham.n_sites):
+            ham.add_one_site(s, -float(mu) * n_op)
     return ham

@@ -12,7 +12,7 @@ and can be converted to dense matrices for exact (statevector) evaluation.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple, Union
+from typing import Iterable, List, Tuple
 
 import numpy as np
 

@@ -7,8 +7,8 @@ acting on a distinct site and identity elsewhere.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Tuple
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
 
 import numpy as np
 

@@ -51,8 +51,7 @@ from repro.peps.contraction import (
     TwoLayerBMPS,
     contract_single_layer,
 )
-from repro.peps.expectation import (
-    EnvironmentCache,
+from repro.peps.measure import (
     expectation_value,
     expectation_via_evolution,
 )
@@ -83,7 +82,6 @@ __all__ = [
     "Exact",
     "TwoLayerBMPS",
     "contract_single_layer",
-    "EnvironmentCache",
     "expectation_value",
     "expectation_via_evolution",
     "Environment",

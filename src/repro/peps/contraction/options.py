@@ -25,7 +25,7 @@ The Koala-style API lets callers write, for example::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.tensornetwork.einsumsvd import EinsumSVDOption, ExplicitSVD, ImplicitRandomizedSVD

@@ -14,7 +14,7 @@ indices" benchmarks of Figs. 8, 11 and 12.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from typing import Optional, Sequence, Union
 
 from repro.backends import get_backend
 from repro.backends.interface import Backend

@@ -30,7 +30,7 @@ from repro.peps.contraction.options import BMPS, ContractOption, Exact, TwoLayer
 from repro.peps.contraction.single_layer import contract_single_layer
 from repro.peps.contraction.stats import count_row_absorption
 from repro.telemetry.trace import traced
-from repro.tensornetwork.einsumsvd import EinsumSVDOption, ExplicitSVD, einsumsvd
+from repro.tensornetwork.einsumsvd import EinsumSVDOption, einsumsvd
 
 #: Site tensor index order (shared with repro.peps.update).
 PHYS, UP, LEFT, DOWN, RIGHT = 0, 1, 2, 3, 4

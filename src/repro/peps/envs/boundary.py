@@ -36,6 +36,7 @@ from repro.peps.contraction.two_layer import (
 )
 from repro.peps.envs.base import Environment, EnvStats, local_terms
 from repro.peps.envs.sampling import sample_bitstrings
+from repro.peps.envs.sampling_mc import sample_mc
 from repro.peps.envs.strip import (
     StripCache,
     site_density,
@@ -387,18 +388,41 @@ class BoundaryEnvironment(Environment):
         return out
 
     def sample(
-        self, rng=None, nshots: int = 1, batch_shots: Optional[int] = None
+        self,
+        rng=None,
+        nshots: int = 1,
+        batch_shots: Optional[int] = None,
+        sampler: str = "perfect",
+        sampler_options: Optional[Dict] = None,
     ) -> np.ndarray:
-        """Basis-state samples via conditional single-layer contractions.
+        """Basis-state samples, perfect conditional or Markov-chain.
 
         Returns an integer array of shape ``(nshots, n_sites)`` (row-major
-        site order).  The cached lower environments are shared by all shots;
-        only the per-shot projected upper boundaries are recomputed — in
-        lockstep groups of up to ``batch_shots`` shots when the environment
+        site order).  The default ``sampler="perfect"`` draws independent
+        samples via conditional single-layer contractions: the cached lower
+        environments are shared by all shots; only the per-shot projected
+        upper boundaries are recomputed — in lockstep groups of up to
+        ``batch_shots`` shots when the environment
         :meth:`supports_lockstep` (``None``: all shots in one group,
         ``1``: the serial reference path; the bits are identical either way).
+        ``sampler="mc"`` runs one Metropolis chain per shot instead
+        (:func:`~repro.peps.envs.sampling_mc.sample_mc`); ``sampler_options``
+        forwards its keywords (e.g. ``{"sweeps": 64}``).
         """
-        return sample_bitstrings(self, rng=rng, nshots=nshots, batch_shots=batch_shots)
+        options = dict(sampler_options or {})
+        if sampler == "perfect":
+            if options:
+                raise ValueError(
+                    f"the perfect sampler takes no options, got {sorted(options)}"
+                )
+            return sample_bitstrings(
+                self, rng=rng, nshots=nshots, batch_shots=batch_shots
+            )
+        if sampler == "mc":
+            return sample_mc(self, rng=rng, nshots=nshots, **options)
+        raise ValueError(
+            f"unknown sampler kind {sampler!r}; known: ['mc', 'perfect']"
+        )
 
     def supports_lockstep(self) -> bool:
         """Whether per-shot sampling boundaries keep shot-independent shapes.

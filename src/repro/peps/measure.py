@@ -1,42 +1,36 @@
-"""Expectation values of local observables on PEPS (compatibility shim).
+"""Expectation values of local observables on PEPS.
 
-The caching strategy of Section IV-B now lives in the pluggable environment
+The caching strategy of Section IV-B lives in the pluggable environment
 subsystem (:mod:`repro.peps.envs`): boundary environments of the
 ``<psi|psi>`` sandwich are computed once — one sweep from the top and one
 from the bottom — and every local term is evaluated with a short strip
 contraction, with incremental dirty-row invalidation on top.  This module
-keeps the historical entry points:
+holds the entry points on top of it:
 
-* :func:`expectation_value` — term-by-term evaluation with (``use_cache=True``)
-  or without (``use_cache=False``) shared boundary environments,
-* :class:`EnvironmentCache` — the seed's eager cache API, now a thin wrapper
-  over :class:`~repro.peps.envs.boundary.BoundaryEnvironment`,
+* :func:`expectation_value` — term-by-term evaluation with
+  (``use_cache=True``) or without (``use_cache=False``) shared boundary
+  environments; the implementation behind
+  :meth:`repro.peps.peps.PEPS.expectation`,
 * :func:`expectation_via_evolution` — the Trotter/Taylor alternative (Eq. 6).
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.operators.hamiltonians import Hamiltonian
 from repro.operators.observable import Observable
-from repro.peps.contraction.options import BMPS, ContractOption, Exact, TwoLayerBMPS
+from repro.peps.contraction.options import BMPS, ContractOption, Exact
 from repro.peps.contraction.two_layer import (
     absorb_sandwich_row,
     close_boundaries,
     trivial_boundary,
 )
 from repro.peps.envs.base import local_terms as _local_terms
-from repro.peps.envs.boundary import BoundaryEnvironment
 from repro.peps.envs.boundary_mps import make_environment
-from repro.peps.envs.strip import (
-    operator_pieces as _operator_pieces,
-    pending_kappas as _pending_kappas,
-    strip_value,
-)
+from repro.peps.envs.strip import strip_value
 from repro.tensornetwork.einsumsvd import EinsumSVDOption
 
 #: Site tensor index order.
@@ -55,39 +49,6 @@ def _resolve_option(contract_option: Optional[ContractOption]) -> Tuple[Optional
     )
 
 
-class EnvironmentCache:
-    """Eagerly built upper/lower boundary environments (seed-compatible API).
-
-    ``upper[i]`` is the boundary MPS obtained by absorbing rows ``0..i-1``
-    from the top; ``lower[i]`` absorbs rows ``nrow-1..i+1`` from the bottom.
-    New code should use :meth:`~repro.peps.peps.PEPS.attach_environment` /
-    :mod:`repro.peps.envs` directly, which adds incremental invalidation and
-    batched measurement on top of the same caches.
-    """
-
-    def __init__(
-        self,
-        peps,
-        svd_option: Optional[EinsumSVDOption],
-        max_bond: Optional[int],
-    ) -> None:
-        warnings.warn(
-            "EnvironmentCache is deprecated; attach an environment instead "
-            "(peps.attach_environment(...) / repro.peps.envs.make_environment), "
-            "which adds incremental invalidation and batched measurements on "
-            "top of the same boundary caches",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self.peps = peps
-        self.env = BoundaryEnvironment(peps, svd_option=svd_option, max_bond=max_bond)
-        self.env.build()
-        nrow = peps.nrow
-        self.upper: List[List] = [self.env._upper[i] for i in range(nrow + 1)]
-        self.lower: List[List] = [self.env._lower[i] for i in range(nrow)]
-        self.norm_sq = self.env.norm_sq()
-
-
 def expectation_value(
     peps,
     observable: Union[Observable, Hamiltonian],
@@ -97,35 +58,10 @@ def expectation_value(
 ) -> float:
     """``<psi|O|psi>`` (optionally divided by ``<psi|psi>``) for a local observable.
 
-    .. deprecated::
-        Call :meth:`repro.peps.peps.PEPS.expectation` (or attach an
-        environment via :meth:`~repro.peps.peps.PEPS.attach_environment` and
-        use the :mod:`repro.peps.envs` API) instead; this shim survives for
-        the seed's callers only.
+    The implementation behind :meth:`repro.peps.peps.PEPS.expectation`:
+    ``use_cache=True`` builds (ephemeral) boundary environments shared by all
+    local terms, ``use_cache=False`` recomputes fresh boundaries per term.
     """
-    warnings.warn(
-        "repro.peps.expectation.expectation_value is deprecated; use "
-        "PEPS.expectation(...) or the repro.peps.envs environment API",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _expectation_value_impl(
-        peps,
-        observable,
-        use_cache=use_cache,
-        contract_option=contract_option,
-        normalized=normalized,
-    )
-
-
-def _expectation_value_impl(
-    peps,
-    observable: Union[Observable, Hamiltonian],
-    use_cache: bool = True,
-    contract_option: Optional[ContractOption] = None,
-    normalized: bool = True,
-) -> float:
-    """Implementation behind :func:`expectation_value` and ``PEPS.expectation``."""
     terms = _local_terms(observable)
 
     if use_cache:
@@ -257,7 +193,3 @@ def _fresh_lower(peps, stop_row: int, svd_option, max_bond) -> List:
             from_below=True,
         )
     return boundary
-
-
-# Backwards-compatible private aliases (the strip machinery moved to envs).
-_strip_value = strip_value

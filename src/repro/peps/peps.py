@@ -22,6 +22,7 @@ import numpy as np
 from repro.backends import get_backend
 from repro.backends.interface import Backend
 from repro.circuits.circuit import Circuit, Gate
+from repro.lattice import bond_between
 from repro.operators.hamiltonians import Hamiltonian
 from repro.operators.observable import Observable
 from repro.peps.contraction.options import (
@@ -42,7 +43,6 @@ from repro.peps.update import (
     LEFT,
     DOWN,
     RIGHT,
-    DirectUpdate,
     QRUpdate,
     UpdateOption,
     apply_single_site_operator,
@@ -309,33 +309,16 @@ class PEPS:
         pos_b: Tuple[int, int],
         update_option: Optional[UpdateOption],
     ) -> None:
-        (ra, ca), (rb, cb) = pos_a, pos_b
         b = self.backend
-        gate = operator
-        if ra == rb:
-            if cb == ca + 1:
-                first, second, orientation, swapped = pos_a, pos_b, "horizontal", False
-            elif cb == ca - 1:
-                first, second, orientation, swapped = pos_b, pos_a, "horizontal", True
-            else:
-                raise ValueError(f"sites {pos_a} and {pos_b} are not adjacent")
-        elif ca == cb:
-            if rb == ra + 1:
-                first, second, orientation, swapped = pos_a, pos_b, "vertical", False
-            elif rb == ra - 1:
-                first, second, orientation, swapped = pos_b, pos_a, "vertical", True
-            else:
-                raise ValueError(f"sites {pos_a} and {pos_b} are not adjacent")
-        else:
-            raise ValueError(f"sites {pos_a} and {pos_b} are not adjacent")
-        if swapped:
-            gate = _swap_gate_qubits(b, gate)
+        bond, swapped = bond_between(pos_a, pos_b)
+        gate = _swap_gate_qubits(b, operator) if swapped else operator
+        first, second = bond.site_a.position, bond.site_b.position
         new_a, new_b = apply_two_site_operator(
             b,
             self.grid[first[0]][first[1]],
             self.grid[second[0]][second[1]],
             gate,
-            orientation,
+            bond,
             option=update_option if update_option is not None else QRUpdate(),
         )
         self.grid[first[0]][first[1]] = new_a
@@ -465,11 +448,11 @@ class PEPS:
         ``contract_option``, its incrementally maintained boundaries are
         reused instead of rebuilding from scratch.
         """
-        from repro.peps.expectation import _expectation_value_impl
+        from repro.peps.measure import expectation_value
 
         if use_cache and self._env is not None and self._env.accepts(contract_option):
             return self._env.expectation(observable, normalized=normalized)
-        return _expectation_value_impl(
+        return expectation_value(
             self,
             observable,
             use_cache=use_cache,
@@ -508,14 +491,23 @@ class PEPS:
         nshots: int = 1,
         contract_option: Optional[ContractOption] = None,
         batch_shots: Optional[int] = None,
+        sampler: str = "perfect",
+        sampler_options: Optional[dict] = None,
     ) -> np.ndarray:
         """Computational-basis samples ``~ |<b|psi>|^2`` (see ``Environment.sample``).
 
-        ``batch_shots`` bounds the sampler's lockstep group size (``None``:
-        all shots batched, ``1``: serial); the bits are identical either way.
+        ``sampler`` selects the scheme (``"perfect"`` conditional sampling or
+        ``"mc"`` Metropolis chains, with ``sampler_options`` forwarded);
+        ``batch_shots`` bounds the perfect sampler's lockstep group size
+        (``None``: all shots batched, ``1``: serial); the bits are identical
+        either way.
         """
         return self._environment_for(contract_option).sample(
-            rng=rng, nshots=nshots, batch_shots=batch_shots
+            rng=rng,
+            nshots=nshots,
+            batch_shots=batch_shots,
+            sampler=sampler,
+            sampler_options=sampler_options,
         )
 
     def _environment_for(self, contract_option: Optional[ContractOption]):

@@ -21,30 +21,40 @@ Site tensors use the index order ``(phys, up, left, down, right)``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
 
-import numpy as np
-
-from repro.backends import get_backend
 from repro.backends.interface import Backend
 from repro.backends.numpy_backend import NumPyBackend
+from repro.lattice import Bond
 from repro.linalg.orthogonalize import tensor_qr
 from repro.tensornetwork.einsumsvd import (
     EinsumSVDOption,
     ExplicitSVD,
-    ImplicitRandomizedSVD,
     einsumsvd,
 )
 
 #: Index positions within a PEPS site tensor.
 PHYS, UP, LEFT, DOWN, RIGHT = 0, 1, 2, 3, 4
 
-#: Axis of site A / site B that carries the shared bond, per pair orientation.
-_BOND_AXES = {
-    "horizontal": (RIGHT, LEFT),   # A is left of B
-    "vertical": (DOWN, UP),        # A is above B
-}
+
+def _resolve_orientation(orientation: Union[str, Bond]) -> str:
+    """Resolve the pair orientation from a :class:`Bond` or orientation string.
+
+    A bond must join adjacent sites (``"horizontal"`` or ``"vertical"``);
+    next-nearest-neighbor bonds have no shared PEPS bond to update through.
+    """
+    if isinstance(orientation, Bond):
+        if not orientation.is_adjacent:
+            raise ValueError(
+                f"cannot apply a two-site update through a {orientation.orientation!r} "
+                f"bond: sites {orientation.site_a.position} and "
+                f"{orientation.site_b.position} do not share a PEPS bond"
+            )
+        return orientation.orientation
+    if orientation not in ("horizontal", "vertical"):
+        raise ValueError(f"unknown orientation {orientation!r}")
+    return orientation
 
 
 @dataclass
@@ -122,7 +132,7 @@ def apply_two_site_operator(
     site_a,
     site_b,
     operator,
-    orientation: str,
+    orientation: Union[str, Bond],
     option: Optional[UpdateOption] = None,
 ) -> Tuple[object, object]:
     """Apply a two-site operator to neighbouring sites A and B.
@@ -139,7 +149,8 @@ def apply_two_site_operator(
         4x4 matrix or ``(2, 2, 2, 2)`` tensor ``G[i1, i2, j1, j2]`` with
         outputs before inputs; the first output/input pair belongs to A.
     orientation:
-        ``"horizontal"`` or ``"vertical"``.
+        ``"horizontal"`` or ``"vertical"``, or a :class:`repro.lattice.Bond`
+        whose reference site is A (adjacent bonds only).
     option:
         The update algorithm option; defaults to :class:`QRUpdate`.
 
@@ -148,8 +159,7 @@ def apply_two_site_operator(
     (new_site_a, new_site_b)
     """
     option = option if option is not None else QRUpdate()
-    if orientation not in _BOND_AXES:
-        raise ValueError(f"unknown orientation {orientation!r}")
+    orientation = _resolve_orientation(orientation)
     gate = _as_gate_tensor(backend, operator, backend.shape(site_a)[PHYS],
                            backend.shape(site_b)[PHYS])
 

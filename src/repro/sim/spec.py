@@ -37,6 +37,7 @@ import os
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Optional, Tuple, Union
 
+from repro.lattice import Lattice, lattice_from_config
 from repro.sim.io import (
     PAYLOAD_FORMATS,
     SerializationError,
@@ -50,9 +51,17 @@ SPEC_VERSION = 1
 #: Recognized model kinds and their Hamiltonian builders (name -> callable).
 MODEL_BUILDERS: Dict[str, Any] = {}
 
+#: Whether the builtin builders have been loaded into :data:`MODEL_BUILDERS`.
+_BUILTINS_LOADED = False
+
 
 def register_model(kind: str):
-    """Register a model builder ``f(nrow, ncol, **params) -> Hamiltonian``."""
+    """Register a model builder ``f(lattice, **params) -> Hamiltonian``.
+
+    The builder receives the run's :class:`repro.lattice.Lattice` as its
+    first argument (the builtin builders also still accept the legacy
+    ``(nrow, ncol)`` integer pair for direct library use).
+    """
 
     def _register(builder):
         MODEL_BUILDERS[kind] = builder
@@ -62,10 +71,26 @@ def register_model(kind: str):
 
 
 def _builtin_models() -> None:
-    from repro.operators.hamiltonians import heisenberg_j1j2, transverse_field_ising
+    """Load the builtin builders, once.
+
+    Lazy so importing :mod:`repro.sim.spec` stays light, idempotent so
+    repeated ``build_model`` calls don't redo registration — and
+    ``setdefault`` so an explicit ``register_model`` override of a builtin
+    name wins even if it ran first.
+    """
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    from repro.operators.hamiltonians import (
+        heisenberg_j1j2,
+        hubbard,
+        transverse_field_ising,
+    )
 
     MODEL_BUILDERS.setdefault("heisenberg_j1j2", heisenberg_j1j2)
     MODEL_BUILDERS.setdefault("transverse_field_ising", transverse_field_ising)
+    MODEL_BUILDERS.setdefault("hubbard", hubbard)
+    _BUILTINS_LOADED = True
 
 
 @dataclass
@@ -79,7 +104,12 @@ class RunSpec:
     workload:
         Registered workload kind: ``"ite"``, ``"vqe"`` or ``"rqc_amplitude"``.
     lattice:
-        ``(nrow, ncol)`` lattice dimensions.
+        The geometry: a bare ``(nrow, ncol)`` pair (the historical form,
+        meaning the uniform square lattice) or a lattice config dict
+        ``{"kind": "square"|"checkerboard", "shape": [nrow, ncol], ...}``
+        with optional per-direction / per-sublattice ``"couplings"`` (see
+        :mod:`repro.lattice`).  Both forms round-trip through ``to_dict``
+        unchanged, so pre-existing specs and checkpoints are untouched.
     n_steps:
         Number of driver steps; ``None`` lets the workload decide (e.g. the
         RQC workload runs one step per circuit gate).
@@ -141,7 +171,7 @@ class RunSpec:
 
     name: str = "run"
     workload: str = "ite"
-    lattice: Tuple[int, int] = (2, 2)
+    lattice: Union[Tuple[int, int], Dict[str, Any]] = (2, 2)
     n_steps: Optional[int] = None
     seed: int = 0
     backend: str = "numpy"
@@ -160,9 +190,15 @@ class RunSpec:
     telemetry: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
-        self.lattice = (int(self.lattice[0]), int(self.lattice[1]))
-        if self.lattice[0] < 1 or self.lattice[1] < 1:
-            raise ValueError(f"lattice dimensions must be positive, got {self.lattice}")
+        if isinstance(self.lattice, dict):
+            self.lattice = dict(self.lattice)
+            lattice_from_config(self.lattice)  # validate kind/shape/couplings
+        else:
+            self.lattice = (int(self.lattice[0]), int(self.lattice[1]))
+            if self.lattice[0] < 1 or self.lattice[1] < 1:
+                raise ValueError(
+                    f"lattice dimensions must be positive, got {self.lattice}"
+                )
         if self.n_steps is not None:
             self.n_steps = int(self.n_steps)
             if self.n_steps < 1:
@@ -232,7 +268,8 @@ class RunSpec:
 
     def to_dict(self) -> Dict[str, Any]:
         payload = asdict(self)
-        payload["lattice"] = list(self.lattice)
+        if not isinstance(self.lattice, dict):
+            payload["lattice"] = list(self.lattice)
         payload["observables"] = list(self.observables)
         # An in-process run may carry a live Backend instance (e.g. one with
         # an attached FlopCounter); persist its registry name instead.
@@ -248,15 +285,23 @@ class RunSpec:
     # ------------------------------------------------------------------ #
     @property
     def nrow(self) -> int:
+        if isinstance(self.lattice, dict):
+            return int(self.lattice["shape"][0])
         return self.lattice[0]
 
     @property
     def ncol(self) -> int:
+        if isinstance(self.lattice, dict):
+            return int(self.lattice["shape"][1])
         return self.lattice[1]
 
     @property
     def n_sites(self) -> int:
         return self.nrow * self.ncol
+
+    def build_lattice(self) -> Lattice:
+        """Construct the :class:`repro.lattice.Lattice` from the config."""
+        return lattice_from_config(self.lattice)
 
     def build_model(self):
         """Construct the lattice Hamiltonian named by ``model["kind"]``."""
@@ -267,10 +312,17 @@ class RunSpec:
             raise ValueError('model config needs a "kind" entry')
         builder = MODEL_BUILDERS.get(kind)
         if builder is None:
+            from difflib import get_close_matches
+
+            hint = ""
+            close = get_close_matches(str(kind), sorted(MODEL_BUILDERS), n=1)
+            if close:
+                hint = f"; did you mean {close[0]!r}?"
             raise ValueError(
-                f"unknown model kind {kind!r}; registered: {sorted(MODEL_BUILDERS)}"
+                f"unknown model kind {kind!r}; registered: "
+                f"{sorted(MODEL_BUILDERS)}{hint}"
             )
-        return builder(self.nrow, self.ncol, **params)
+        return builder(self.build_lattice(), **params)
 
     def build_update_option(self):
         """Two-site update option from the ``update`` config (``None`` = default)."""

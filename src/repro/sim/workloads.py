@@ -21,7 +21,7 @@ Three workloads ship with the library, mirroring the paper's studies:
 from __future__ import annotations
 
 import abc
-from typing import Any, Dict, List, Optional, Type
+from typing import Any, Dict, Optional, Type
 
 import numpy as np
 
@@ -207,10 +207,31 @@ class ITEWorkload(Workload):
         if "sample" in self.spec.observables:
             nshots = int(self.spec.algorithm.get("nshots", 1))
             rng = derive_rng(self.spec.seed, "sample", step_index)
+            sampler, sampler_options = self._sampler_config()
             record["samples"] = self.state.sample(
-                rng=rng, nshots=nshots, batch_shots=self.spec.batch_shots
+                rng=rng,
+                nshots=nshots,
+                batch_shots=self.spec.batch_shots,
+                sampler=sampler,
+                sampler_options=sampler_options,
             ).tolist()
         return record
+
+    def _sampler_config(self):
+        """The ``(kind, options)`` of ``algorithm["sampler"]``.
+
+        Accepts a bare kind string (``"mc"``) or a config dict
+        (``{"kind": "mc", "sweeps": 64}``); absent means the perfect sampler,
+        keeping pre-existing specs' sample streams untouched.
+        """
+        config = self.spec.algorithm.get("sampler")
+        if config is None:
+            return "perfect", None
+        if isinstance(config, str):
+            return config, None
+        options = dict(config)
+        kind = options.pop("kind", "perfect")
+        return kind, options or None
 
     def summary(self) -> Dict[str, Any]:
         return {"final_max_bond": self.state.max_bond_dimension()}

@@ -10,14 +10,13 @@ feasible, which is precisely the regime the paper uses it in.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.circuits.circuit import Circuit, Gate
 from repro.operators.hamiltonians import Hamiltonian
 from repro.operators.observable import Observable
-from repro.operators.pauli import pauli_matrix
 from repro.utils.rng import SeedLike, ensure_rng
 
 _MAX_QUBITS = 26

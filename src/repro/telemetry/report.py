@@ -24,7 +24,7 @@ from __future__ import annotations
 import glob
 import json
 import os
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 __all__ = [
     "classify",

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from itertools import combinations
 from math import prod
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Sequence, Tuple
 
 from repro.backends import get_backend
 from repro.backends.interface import Backend

@@ -14,7 +14,7 @@ meant to match hardware counters exactly, only to preserve relative scaling.
 from __future__ import annotations
 
 from math import prod
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence
 
 
 def matmul_flops(m: int, k: int, n: int, complex_dtype: bool = True) -> float:

@@ -10,7 +10,7 @@ only ever deals with `Generator` objects.
 from __future__ import annotations
 
 import zlib
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Union
 
 import numpy as np
 

@@ -8,9 +8,9 @@ from repro.algorithms.ite import ImaginaryTimeEvolution, ITEResult
 from repro.algorithms.trotter import apply_tebd_layer, tebd_gate_layer, trotter_gates
 from repro.algorithms.vqe import VQE, build_vqe_ansatz
 from repro.operators.hamiltonians import heisenberg_j1j2, transverse_field_ising
-from repro.peps import BMPS, Exact, QRUpdate
+from repro.peps import BMPS, QRUpdate
 from repro.statevector import StateVector
-from repro.tensornetwork import ExplicitSVD, ImplicitRandomizedSVD
+from repro.tensornetwork import ExplicitSVD
 
 
 class TestTrotter:

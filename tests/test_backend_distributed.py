@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.backends import get_backend
 from repro.backends.distributed import (
     CostModel,
     DistributedBackend,

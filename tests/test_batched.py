@@ -15,7 +15,7 @@ from repro.backends import (
 from repro.backends.numpy_backend import NumPyBackend
 from repro.operators.hamiltonians import heisenberg_j1j2
 from repro.peps.contraction import stats
-from repro.peps.contraction.options import BMPS, CTMOption, Exact
+from repro.peps.contraction.options import BMPS, CTMOption
 from repro.peps.contraction.two_layer import (
     absorb_sandwich_row,
     absorb_sandwich_row_batched,

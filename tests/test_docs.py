@@ -99,6 +99,6 @@ class TestMarkdownLinks:
     def test_readme_links_every_doc_page(self):
         readme = read(os.path.join(REPO_ROOT, "README.md"))
         for name in ("docs/checkpoint-format.md", "docs/cli.md",
-                     "docs/architecture.md", "docs/perf.md",
-                     "docs/observability.md"):
+                     "docs/architecture.md", "docs/models.md",
+                     "docs/perf.md", "docs/observability.md"):
             assert name in readme, f"README.md does not link {name}"

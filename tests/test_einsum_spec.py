@@ -3,8 +3,6 @@
 import pytest
 
 from repro.tensornetwork.einsum_spec import (
-    EinsumSpec,
-    EinsumSVDSpec,
     parse_einsum,
     parse_einsumsvd,
     symbols,

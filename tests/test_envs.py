@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro import peps
-from repro.backends import get_backend
 from repro.operators import gates
 from repro.operators.hamiltonians import transverse_field_ising
 from repro.operators.observable import Observable

@@ -6,7 +6,7 @@ import pytest
 from repro import peps
 from repro.circuits import Circuit
 from repro.operators.hamiltonians import heisenberg_j1j2, transverse_field_ising
-from repro.peps import BMPS, Exact, QRUpdate, TwoLayerBMPS, expectation_via_evolution
+from repro.peps import BMPS, Exact, QRUpdate, expectation_via_evolution
 from repro.statevector import StateVector
 from repro.tensornetwork import ExplicitSVD
 

@@ -110,16 +110,16 @@ class TestCachingClaim:
         ham = transverse_field_ising(3, 3)
         option = BMPS(ExplicitSVD(rank=4))
 
-        import repro.peps.expectation as expectation_module
+        import repro.peps.measure as measure_module
 
         calls = {"n": 0}
-        original = expectation_module.absorb_sandwich_row
+        original = measure_module.absorb_sandwich_row
 
         def counting(*args, **kwargs):
             calls["n"] += 1
             return original(*args, **kwargs)
 
-        monkeypatch.setattr(expectation_module, "absorb_sandwich_row", counting)
+        monkeypatch.setattr(measure_module, "absorb_sandwich_row", counting)
 
         calls["n"] = 0
         cached = q.expectation(ham, use_cache=True, contract_option=option)

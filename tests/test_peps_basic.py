@@ -6,7 +6,6 @@ import pytest
 from repro import peps
 from repro.peps import BMPS, Exact, PEPS, TwoLayerBMPS
 from repro.peps.peps import random_peps, random_single_layer_grid
-from repro.statevector import StateVector
 from repro.tensornetwork import ExplicitSVD
 from tests.conftest import random_complex
 

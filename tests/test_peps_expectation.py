@@ -8,7 +8,7 @@ from repro.circuits import Circuit
 from repro.operators.hamiltonians import heisenberg_j1j2, transverse_field_ising
 from repro.operators.observable import Observable
 from repro.peps import BMPS, Exact, QRUpdate
-from repro.peps.expectation import EnvironmentCache, expectation_value
+from repro.peps.measure import expectation_value
 from repro.peps.peps import random_peps
 from repro.statevector import StateVector
 from repro.tensornetwork import ExplicitSVD, ImplicitRandomizedSVD
@@ -108,25 +108,14 @@ class TestCachingEquivalence:
         )
         assert val == pytest.approx(ref, abs=1e-6)
 
-    def test_environment_cache_structure(self):
-        q, _ = prepared_state(3, 3, seed=9)
-        with pytest.warns(DeprecationWarning, match="attach_environment"):
-            cache = EnvironmentCache(q, ExplicitSVD(rank=8), 8)
-        assert len(cache.upper) == 4   # rows 0..3 absorbed prefixes
-        assert len(cache.lower) == 3   # one per row
-        assert np.real(cache.norm_sq) > 0
-        # upper[0] and lower[nrow-1] are trivial boundaries.
-        assert all(q.backend.shape(t) == (1, 1, 1, 1) for t in cache.upper[0])
-        assert all(q.backend.shape(t) == (1, 1, 1, 1) for t in cache.lower[2])
-
-    def test_cache_norm_matches_inner(self):
-        q, _ = prepared_state(2, 3, seed=10)
-        with pytest.warns(DeprecationWarning, match="attach_environment"):
-            cache = EnvironmentCache(q, ExplicitSVD(rank=16), 16)
+    def test_environment_norm_matches_inner(self):
         from repro.peps import TwoLayerBMPS
+        from repro.peps.envs.boundary import BoundaryEnvironment
 
+        q, _ = prepared_state(2, 3, seed=10)
+        env = BoundaryEnvironment(q, svd_option=ExplicitSVD(rank=16), max_bond=16).build()
         ref = q.inner(q, TwoLayerBMPS(ExplicitSVD(rank=16)))
-        assert cache.norm_sq == pytest.approx(ref, rel=1e-8)
+        assert env.norm_sq() == pytest.approx(ref, rel=1e-8)
 
 
 class TestErrorsAndEdgeCases:
@@ -138,9 +127,8 @@ class TestErrorsAndEdgeCases:
 
     def test_unsupported_observable_type_raises(self):
         q, _ = prepared_state(2, 2, seed=12)
-        with pytest.warns(DeprecationWarning, match="environment API"):
-            with pytest.raises(TypeError):
-                expectation_value(q, object())
+        with pytest.raises(TypeError):
+            expectation_value(q, object())
 
     def test_unsupported_contract_option_raises(self):
         q, _ = prepared_state(2, 2, seed=13)

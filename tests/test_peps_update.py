@@ -13,7 +13,6 @@ from repro.peps import (
     LocalGramQRUpdate,
     QRUpdate,
 )
-from repro.peps.peps import random_peps
 from repro.statevector import StateVector
 from repro.tensornetwork import ImplicitRandomizedSVD
 

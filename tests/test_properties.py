@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.backends import get_backend
 from repro.linalg import DenseTensorOperator, randomized_svd, tensor_qr, truncate_spectrum, truncated_svd
-from repro.mps import MPS, MPO, apply_mpo_exact, apply_mpo_zipup
+from repro.mps import MPS, MPO, apply_mpo_zipup
 from repro.operators import gates
 from repro.operators.hamiltonians import heisenberg_j1j2, transverse_field_ising
 from repro.operators.observable import Observable

@@ -17,7 +17,6 @@ import pytest
 
 from repro import peps
 from repro.mps.mps import MPS
-from repro.operators.hamiltonians import heisenberg_j1j2
 from repro.operators.observable import Observable
 from repro.peps import BMPS, CTMOption, Exact, QRUpdate, TwoLayerBMPS
 from repro.sim import (
@@ -642,19 +641,11 @@ class TestDeepCopyHelpers:
 
 
 class TestDeprecations:
-    def test_expectation_value_shim_warns(self):
-        from repro.peps.expectation import expectation_value
-
-        state = peps.random_peps(2, 2, bond_dim=1, seed=0)
-        with pytest.warns(DeprecationWarning, match="environment API"):
-            expectation_value(state, Observable.Z(0), use_cache=False)
-
-    def test_environment_cache_shim_warns(self):
-        from repro.peps.expectation import EnvironmentCache
-
-        state = peps.random_peps(2, 2, bond_dim=1, seed=0)
-        with pytest.warns(DeprecationWarning, match="attach_environment"):
-            EnvironmentCache(state, None, None)
+    def test_expectation_shim_is_gone(self):
+        # The deprecated repro.peps.expectation shim (PR 2) was removed;
+        # the non-deprecated entry points live in repro.peps.measure.
+        with pytest.raises(ImportError):
+            import repro.peps.expectation  # noqa: F401
 
     def test_peps_expectation_does_not_warn(self):
         import warnings

@@ -10,9 +10,7 @@ from repro.sim.__main__ import main
 from repro.telemetry import global_snapshot
 from repro.telemetry.metrics import (
     REGISTRY,
-    Counter,
     Gauge,
-    Histogram,
     MetricsRegistry,
     parse_flat_name,
 )
