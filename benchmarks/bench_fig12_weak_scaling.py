@@ -19,8 +19,14 @@ import pytest
 
 from repro.backends.distributed.cost_model import CostModel
 
-from benchmarks.bench_fig11_strong_scaling import contraction_cost, evolution_cost
-from benchmarks.conftest import scaled
+from benchmarks.bench_fig11_strong_scaling import (
+    POOL_REPEATS,
+    assert_accuracy_band,
+    contraction_cost,
+    evolution_cost,
+    executor_comparison_point,
+)
+from benchmarks.conftest import scaled, write_distributed_bench
 
 #: The paper's weak-scaling sweep: core counts with the matching evolution
 #: bond r and contraction bond m (r grows ~ P^(1/4) to keep memory per node
@@ -35,6 +41,14 @@ PAPER_SWEEP = [
     (4096, 197, 226),
 ]
 LATTICE = 8
+
+#: Pool-executor comparison points: the bond grows ~ P^(1/4) with the rank
+#: count (the paper's constant-memory-per-node rule) at box-runnable sizes.
+WEAK_POOL_SWEEP = scaled(
+    [(1, 24), (2, 29), (4, 34)],
+    [(1, 32), (2, 38), (4, 45), (8, 54)],
+    [(1, 12), (2, 14)],
+)
 
 
 def test_fig12_weak_scaling(benchmark, record_rows):
@@ -68,3 +82,26 @@ def test_fig12_weak_scaling(benchmark, record_rows):
     # ... and the GEMM-rich contraction sustains a higher per-core rate than
     # the communication-bound evolution, as in the paper.
     assert con_rates.mean() > evo_rates.mean()
+
+
+def test_fig12_executor_comparison(benchmark, record_rows):
+    """Weak-scaling companion on real processes: bond grows with the rank
+    count, measured pool wall time recorded next to the cost model's
+    prediction (``BENCH_distributed.json``, section ``weak_scaling``)."""
+
+    def sweep():
+        return [
+            executor_comparison_point(cores, r, POOL_REPEATS)
+            for cores, r in WEAK_POOL_SWEEP
+        ]
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_rows(
+        "Fig. 12 companion: pool executor, bond ~ P^(1/4), "
+        "predicted vs measured",
+        ["cores", "bond", "predicted (s)", "measured (s)", "ratio"],
+        [(p["cores"], p["bond"], p["predicted_s"], p["measured_s"], p["ratio"])
+         for p in points],
+    )
+    write_distributed_bench("weak_scaling", points)
+    assert_accuracy_band(points)

@@ -99,6 +99,43 @@ def write_bench_json(figure, sweep_spec, sweep_result, path=None):
     return path
 
 
+def write_distributed_bench(section, points, path=None):
+    """Merge one section of the executor comparison into ``BENCH_distributed.json``.
+
+    The strong- and weak-scaling harnesses each contribute a section
+    (``"strong_scaling"`` / ``"weak_scaling"``) of points recording the cost
+    model's *predicted* seconds next to the pool executor's *measured* wall
+    seconds for the same operations::
+
+        {
+          "benchmark": "distributed",
+          "scale": "default",
+          "strong_scaling": [
+            {"cores": 2, "bond": 32, "predicted_s": ..., "measured_s": ...,
+             "ratio": ...}, ...
+          ],
+          "weak_scaling": [...]
+        }
+
+    Sections merge into one document so either harness can run alone; a
+    ``ratio`` is ``predicted_s / measured_s``.
+    """
+    path = path or "BENCH_distributed.json"
+    payload = {"benchmark": "distributed", "scale": SCALE}
+    if os.path.exists(path):
+        with open(path) as handle:
+            existing = json.load(handle)
+        if existing.get("benchmark") == "distributed":
+            for key in ("strong_scaling", "weak_scaling"):
+                if key in existing:
+                    payload[key] = existing[key]
+    payload[section] = points
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return path
+
+
 @pytest.fixture
 def record_rows(benchmark):
     """Attach a printable series to a pytest-benchmark entry."""

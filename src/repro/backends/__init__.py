@@ -8,12 +8,15 @@ registered backends:
     Sequential/threaded execution on :class:`numpy.ndarray` objects.
 
 ``"distributed"`` (aliases: ``"ctf"``, ``"cyclops"``)
-    A simulated distributed-memory backend standing in for Cyclops/CTF.
-    Tensors carry a block-cyclic distribution over a virtual processor grid
-    and every operation is charged against an alpha-beta communication model
-    and a per-core flop-rate model, so redistribution-heavy code paths
+    A distributed-memory backend standing in for Cyclops/CTF.  Tensors carry
+    a block-cyclic distribution over a virtual processor grid and every
+    operation is charged against an alpha-beta communication model and a
+    per-core flop-rate model, so redistribution-heavy code paths
     (e.g. ``reshape`` before a factorization) are visibly more expensive than
     Gram-matrix based ones, matching the behaviour studied in the paper.
+    Pass ``executor="pool"`` to actually execute on a pool of worker
+    processes (rank-local contractions, real collectives) with bitwise
+    parity to the default in-process ``executor="simulated"``.
 
 Use :func:`get_backend` to obtain a backend instance by name.
 """
@@ -24,6 +27,7 @@ from typing import Union
 
 from repro.backends.interface import (
     Backend,
+    BackendExecutionError,
     parse_batched_subscripts,
     rewrite_batched_subscripts,
 )
@@ -46,8 +50,9 @@ def get_backend(backend: Union[str, Backend, None] = "numpy", **kwargs) -> Backe
         NumPy backend.
     kwargs:
         Extra configuration forwarded to the backend constructor.  The
-        distributed backend accepts ``nprocs``, ``cost_model`` and
-        ``track_memory``.
+        distributed backend accepts ``nprocs``, ``cost_model``, ``executor``
+        (``"simulated"`` or ``"pool"``) and, for the pool executor,
+        ``fault``, ``max_restarts`` and ``timeout``.
     """
     if backend is None:
         backend = "numpy"
@@ -74,6 +79,7 @@ def get_backend(backend: Union[str, Backend, None] = "numpy", **kwargs) -> Backe
 
 __all__ = [
     "Backend",
+    "BackendExecutionError",
     "NumPyBackend",
     "clear_path_caches",
     "get_backend",

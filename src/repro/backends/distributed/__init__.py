@@ -1,40 +1,63 @@
-"""Simulated distributed-memory tensor backend (Cyclops/CTF substitute).
+"""Distributed-memory tensor backend (Cyclops/CTF substitute).
 
 The original Koala library runs its distributed experiments with the Cyclops
 Tensor Framework on the Stampede2 supercomputer.  Neither MPI nor CTF is
 available in this reproduction environment, so this subpackage provides a
-*simulated* distributed backend:
+distributed backend with two interchangeable executors:
 
-* every tensor (:class:`DistTensor`) carries a block-cyclic distribution over
-  a virtual processor grid (:mod:`repro.backends.distributed.distribution`),
-* every operation is routed through an alpha-beta communication model and a
-  per-core flop-rate model (:mod:`repro.backends.distributed.cost_model`,
-  :mod:`repro.backends.distributed.comm`) that accumulate simulated execution
-  time, communication volume and peak memory,
-* data itself is stored densely in local memory so numerical results are
-  bit-identical to the NumPy backend.
+* ``executor="simulated"`` (default) — every tensor (:class:`DistTensor`)
+  carries a block-cyclic distribution over a virtual processor grid
+  (:mod:`repro.backends.distributed.distribution`), and every operation is
+  routed through an alpha-beta communication model and a per-core flop-rate
+  model (:mod:`repro.backends.distributed.cost_model`,
+  :mod:`repro.backends.distributed.comm`) that accumulate simulated
+  execution time, communication volume and peak memory.  Data is stored
+  densely in local memory.
+* ``executor="pool"`` — the same surface over a persistent pool of worker
+  processes (:class:`ProcessPoolCommunicator`): contractions ship each rank
+  its operand blocks and run rank-local, collectives move real bytes, and a
+  worker that dies is respawned transparently (or the run fails cleanly with
+  a :class:`~repro.backends.interface.BackendExecutionError` once the
+  restart budget is spent).  Results are **bitwise identical** to the
+  simulated executor for every rank count, because both evaluate the same
+  deterministic pairwise contraction plans
+  (:mod:`repro.backends.distributed.engine`).
 
-This preserves the *behavioural* distinctions the paper relies on — reshape
-forces an expensive redistribution, distributed factorizations are
+Either way the cost model accumulates the *predicted* execution profile —
+reshape forces an expensive redistribution, distributed factorizations are
 latency-bound for small matrices, contraction flops scale with the number of
 processes — so the relative performance of the algorithm variants
 (QR-SVD vs. local-Gram evolution, BMPS vs. IBMPS contraction, strong/weak
-scaling) can be reproduced as cost-model results.
+scaling) can be reproduced as cost-model results, and the pool executor's
+measured wall time can be compared against the prediction
+(``BENCH_distributed.json``).
 """
 
 from repro.backends.distributed.cost_model import CostModel, ExecutionStats, MachineParameters
-from repro.backends.distributed.comm import SimulatedCommunicator
+from repro.backends.distributed.comm import (
+    PoolError,
+    ProcessPoolCommunicator,
+    SimulatedCommunicator,
+    WorkerFault,
+)
 from repro.backends.distributed.distribution import ProcessorGrid, Distribution
 from repro.backends.distributed.dist_tensor import DistTensor
+from repro.backends.distributed.engine import EinsumPlan, execute_plan, plan_einsum
 from repro.backends.distributed.backend import DistributedBackend
 
 __all__ = [
     "CostModel",
     "ExecutionStats",
     "MachineParameters",
+    "PoolError",
+    "ProcessPoolCommunicator",
     "SimulatedCommunicator",
+    "WorkerFault",
     "ProcessorGrid",
     "Distribution",
     "DistTensor",
+    "EinsumPlan",
+    "execute_plan",
+    "plan_einsum",
     "DistributedBackend",
 ]

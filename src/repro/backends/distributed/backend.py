@@ -1,9 +1,20 @@
-"""The simulated distributed-memory backend.
+"""The distributed-memory backend (simulated or real multi-process).
 
 Implements the :class:`~repro.backends.interface.Backend` protocol on
-:class:`DistTensor` objects.  Numerical results are computed with NumPy on
-the (logically global) data, while every operation is charged to the
-backend's :class:`CostModel`:
+:class:`DistTensor` objects.  Two executors share every code path:
+
+* ``executor="simulated"`` (default) computes in-process; collectives only
+  charge the cost model.
+* ``executor="pool"`` runs contractions rank-local on a persistent pool of
+  worker processes and moves real bytes through the collectives — with
+  results *bitwise identical* to the simulated executor, because both
+  evaluate the same deterministic pairwise contraction plan
+  (:mod:`repro.backends.distributed.engine`).
+
+Either way, every operation is charged to the backend's
+:class:`CostModel` — under the pool executor the model acts as a
+*predictor* whose accuracy is pinned against measured wall time by the
+distributed benchmarks:
 
 * ``einsum`` / ``tensordot`` — flops from the contraction-path optimizer,
   divided over the processes, plus a SUMMA-like communication volume;
@@ -28,24 +39,23 @@ from typing import Any, Optional, Sequence, Tuple
 import numpy as np
 import scipy.linalg
 
-from repro.backends.distributed.comm import SimulatedCommunicator
+from repro.backends.distributed.comm import ProcessPoolCommunicator, SimulatedCommunicator
 from repro.backends.distributed.cost_model import CostModel, ExecutionStats, MachineParameters
 from repro.backends.distributed.dist_tensor import DistTensor
 from repro.backends.distributed.distribution import Distribution
+from repro.backends.distributed.engine import EinsumPlan, plan_einsum
 from repro.backends.interface import (
     Backend,
     parse_batched_subscripts,
     rewrite_batched_subscripts,
 )
 from repro.telemetry.trace import TRACER as _TRACER
-from repro.tensornetwork.contraction_path import find_path
-from repro.tensornetwork.einsum_spec import parse_einsum
 from repro.utils.flops import eigh_flops, qr_flops, svd_flops
 from repro.utils.rng import SeedLike, ensure_rng
 
 
 class DistributedBackend(Backend):
-    """Simulated Cyclops/CTF-style distributed tensor backend."""
+    """Cyclops/CTF-style distributed tensor backend (simulated or pooled)."""
 
     name = "distributed"
 
@@ -55,13 +65,36 @@ class DistributedBackend(Backend):
         machine: Optional[MachineParameters] = None,
         procs_per_node: Optional[int] = None,
         cost_model: Optional[CostModel] = None,
+        executor: str = "simulated",
+        fault=None,
+        max_restarts: int = 2,
+        timeout: float = 60.0,
     ) -> None:
         if cost_model is not None:
             self.cost_model = cost_model
         else:
             self.cost_model = CostModel(nprocs=nprocs, machine=machine,
                                         procs_per_node=procs_per_node)
-        self.comm = SimulatedCommunicator(self.cost_model)
+        executor = str(executor).lower()
+        if executor == "simulated":
+            if fault is not None:
+                raise ValueError("fault injection requires executor='pool'")
+            self.comm = SimulatedCommunicator(self.cost_model)
+        elif executor == "pool":
+            self.comm = ProcessPoolCommunicator(
+                self.cost_model, fault=fault,
+                max_restarts=max_restarts, timeout=timeout,
+            )
+        else:
+            raise ValueError(
+                f"unknown distributed executor {executor!r}; "
+                "expected 'simulated' or 'pool'"
+            )
+        self.executor = executor
+
+    def close(self) -> None:
+        """Shut down the executor (terminates pool workers); idempotent."""
+        self.comm.close()
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -105,8 +138,7 @@ class DistributedBackend(Backend):
 
     def asarray(self, tensor) -> np.ndarray:
         if isinstance(tensor, DistTensor):
-            self.cost_model.gather(tensor.nbytes)
-            return np.asarray(tensor.array)
+            return np.asarray(self.comm.gather(tensor.array))
         return np.asarray(tensor)
 
     def zeros(self, shape: Sequence[int], dtype: np.dtype = np.complex128) -> DistTensor:
@@ -171,15 +203,17 @@ class DistributedBackend(Backend):
     # ------------------------------------------------------------------ #
     def einsum(self, subscripts: str, *operands) -> DistTensor:
         datas = [self._data(op) for op in operands]
+        plan = plan_einsum(subscripts, [d.shape for d in datas])
         if _TRACER.active:
-            with _TRACER.span("einsum", subscripts=subscripts, backend="dist"):
-                result = np.einsum(subscripts, *datas, optimize=True)
+            with _TRACER.span("einsum", subscripts=subscripts, backend="dist",
+                              executor=self.executor):
+                result = self.comm.contract(plan, datas)
         else:
-            result = np.einsum(subscripts, *datas, optimize=True)
-        self._charge_einsum(subscripts, datas, result)
+            result = self.comm.contract(plan, datas)
+        self._charge_einsum(plan, datas, result)
         if np.ndim(result) == 0:
             # Scalar results are produced by a final reduction across processes.
-            self.cost_model.allreduce(16.0)
+            result = self.comm.allreduce(np.asarray(result))
             return self._wrap(np.asarray(result))
         return self._wrap(result)
 
@@ -197,41 +231,33 @@ class DistributedBackend(Backend):
         _, output, batch_dims, batch = parse_batched_subscripts(subscripts, shapes)
         if batch == 1:
             squeezed = [d.reshape(d.shape[1:]) for d in datas]
-            result = np.einsum(subscripts, *squeezed, optimize=True)
-            self._charge_einsum(subscripts, squeezed, result)
+            plan = plan_einsum(subscripts, [d.shape for d in squeezed])
+            result = self.comm.contract(plan, squeezed)
+            self._charge_einsum(plan, squeezed, result)
             if output == "":
-                self.cost_model.allreduce(16.0)
+                result = self.comm.allreduce(np.asarray(result))
             return self._wrap(np.asarray(result)[np.newaxis, ...])
         batched_subscripts, _ = rewrite_batched_subscripts(subscripts, batch_dims)
         used = [
             d.reshape(d.shape[1:]) if dim == 1 else d
             for d, dim in zip(datas, batch_dims)
         ]
+        plan = plan_einsum(batched_subscripts, [d.shape for d in used])
         if _TRACER.active:
             with _TRACER.span(
-                "einsum_batched", subscripts=subscripts, batch=batch, backend="dist"
+                "einsum_batched", subscripts=subscripts, batch=batch,
+                backend="dist", executor=self.executor,
             ):
-                result = np.einsum(batched_subscripts, *used, optimize=True)
+                result = self.comm.contract(plan, used)
         else:
-            result = np.einsum(batched_subscripts, *used, optimize=True)
-        self._charge_einsum(batched_subscripts, used, result)
+            result = self.comm.contract(plan, used)
+        self._charge_einsum(plan, used, result)
         if output == "":
             # One reduction finalizes every item's scalar at once.
-            self.cost_model.allreduce(16.0 * batch)
+            result = self.comm.allreduce(np.asarray(result))
         return self._wrap(result)
 
-    def _charge_einsum(self, subscripts: str, datas, result) -> None:
-        try:
-            spec = parse_einsum(subscripts, n_operands=len(datas))
-            info = find_path(spec, [d.shape for d in datas], strategy="greedy")
-            flops = info.total_flops
-            max_size = info.max_intermediate_size
-        except ValueError:
-            # Subscripts with features the lightweight parser does not support
-            # (e.g. ellipsis); fall back to a volume-based estimate.
-            volume = float(np.prod([max(d.size, 1) for d in datas]))
-            flops = 8.0 * min(volume, 1e18)
-            max_size = max((d.size for d in datas), default=1)
+    def _charge_einsum(self, plan: EinsumPlan, datas, result) -> None:
         itemsize = 16.0
         p = self.nprocs
         operand_bytes = sum(d.nbytes for d in datas) + getattr(result, "nbytes", 16)
@@ -239,9 +265,9 @@ class DistributedBackend(Backend):
         # fraction of the grid during the contraction.
         comm_bytes = operand_bytes / max(1.0, sqrt(p)) if p > 1 else 0.0
         messages = 2.0 * sqrt(p) if p > 1 else 0.0
-        self.cost_model.contraction(flops=flops, comm_bytes=comm_bytes,
+        self.cost_model.contraction(flops=plan.total_flops, comm_bytes=comm_bytes,
                                     messages=messages, category="einsum")
-        self.cost_model.observe_tensor(float(max_size) * itemsize)
+        self.cost_model.observe_tensor(float(plan.max_intermediate_size) * itemsize)
 
     def tensordot(self, a, b, axes) -> DistTensor:
         da, db = self._data(a), self._data(b)
@@ -314,12 +340,10 @@ class DistributedBackend(Backend):
     # ------------------------------------------------------------------ #
     def to_local(self, tensor) -> np.ndarray:
         data = self._data(tensor)
-        self.cost_model.gather(float(data.nbytes))
-        return np.asarray(data)
+        return np.asarray(self.comm.gather(data))
 
     def from_local(self, array: np.ndarray, dtype: Optional[np.dtype] = None) -> DistTensor:
         array = np.asarray(array)
         if dtype is not None:
             array = array.astype(dtype, copy=False)
-        self.cost_model.broadcast(float(array.nbytes))
-        return self._wrap(array)
+        return self._wrap(np.asarray(self.comm.broadcast(array)))

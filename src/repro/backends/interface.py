@@ -24,6 +24,16 @@ from repro.utils.rng import SeedLike, ensure_rng
 Tensor = Any  # backend-native tensor object
 
 
+class BackendExecutionError(RuntimeError):
+    """A backend lost the ability to execute work (e.g. a worker pool died).
+
+    Raised by executors when a compute resource fails unrecoverably — after
+    transparent restarts have been exhausted — so that drivers can stop
+    cleanly, keep the last consistent checkpoint, and surface the failure
+    instead of hanging or silently corrupting state.
+    """
+
+
 def parse_batched_subscripts(
     subscripts: str, shapes: Sequence[Tuple[int, ...]]
 ) -> Tuple[List[str], str, List[int], int]:
@@ -241,6 +251,14 @@ class Backend(abc.ABC):
     # ------------------------------------------------------------------ #
     # Derived helpers (implemented once, shared by all backends)
     # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release any execution resources held by the backend.
+
+        In-process backends hold none, so the default is a no-op; backends
+        that own worker processes (the pool executor of the distributed
+        backend) override this to shut them down.  Safe to call repeatedly.
+        """
+
     def shape(self, tensor: Tensor) -> Tuple[int, ...]:
         """Shape of a tensor (native tensors expose ``.shape``)."""
         return tuple(tensor.shape)

@@ -41,9 +41,14 @@ eviction rather than on schedule only.  Sweeps forward the signal to every
 pool worker so each in-flight point checkpoints too.
 
 Checkpoints write tensor payloads to a compressed ``.npz`` sidecar by
-default; ``--payload inline`` keeps the self-contained all-JSON form, and
-``--resume`` reads either format regardless (see ``docs/checkpoint-format.md``
-for the on-disk contract and ``docs/cli.md`` for the complete CLI reference).
+default; ``--payload inline`` keeps the self-contained all-JSON form,
+``--payload sharded`` writes one npz file per backend rank (the distributed
+backend's layout, see ``docs/distributed.md``), and ``--resume`` reads any
+format regardless (see ``docs/checkpoint-format.md`` for the on-disk
+contract and ``docs/cli.md`` for the complete CLI reference).  A backend
+that loses the ability to execute mid-run (e.g. a worker-pool rank dying
+past its restart budget) also exits with code 4: the last scheduled
+checkpoint is kept and the run resumes from it.
 """
 
 from __future__ import annotations
@@ -63,9 +68,12 @@ from repro.sim.sweep import STATUS_FAILED, Sweep, SweepSpec
 #: interrupted the run.
 EXIT_INTERRUPTED = 3
 
-#: Exit code reported when a termination signal interrupted the run after a
-#: checkpoint was written (distinct from --stop-after so schedulers can tell
-#: "evicted but resumable" from a test crash).
+#: Exit code reported when the run stopped through no fault of the spec but
+#: remains resumable from its last checkpoint: a termination signal arrived
+#: (checkpoint written on the way out), or the backend lost the ability to
+#: execute (e.g. a pool worker died past its restart budget; the last
+#: scheduled checkpoint is kept).  Distinct from --stop-after so schedulers
+#: can tell "evicted/failed but resumable" from a test crash.
 EXIT_SIGNALED = 4
 
 #: Exit code reported when a sweep completed its dispatch but points failed.
@@ -110,9 +118,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="override the spec's checkpoint directory")
     run.add_argument("--checkpoint-every", type=int, default=None, metavar="N",
                      help="override the spec's checkpoint interval")
-    run.add_argument("--payload", choices=("inline", "npz"), default=None,
+    run.add_argument("--payload", choices=("inline", "npz", "sharded"), default=None,
                      help="override the spec's checkpoint payload format "
-                     "(npz sidecar or inline base64; --resume reads either)")
+                     "(npz sidecar, inline base64, or per-rank sharded npz; "
+                     "--resume reads any of them)")
     run.add_argument("--batch-shots", type=int, default=None, metavar="S",
                      help="override the spec's sampling lockstep group size "
                      "(1 = serial sampler; bits are identical either way)")
@@ -145,7 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override the spec's combined results path")
     sweep.add_argument("--sweep-dir", default=None, metavar="DIR",
                        help="override the spec's working directory")
-    sweep.add_argument("--payload", choices=("inline", "npz"), default=None,
+    sweep.add_argument("--payload", choices=("inline", "npz", "sharded"), default=None,
                        help="override the base spec's checkpoint payload format "
                        "for every point")
     sweep.add_argument("--count-flops", action="store_true",
@@ -242,16 +251,22 @@ def _main_run(args) -> int:
         _restore_handlers(previous, handler)
 
     signaled = result.stop_reason == "stop_requested" and received
+    backend_failed = result.stop_reason == "backend_failure"
+    if backend_failed:
+        print(f"run {spec.name!r} backend failure: {result.error}",
+              file=sys.stderr, flush=True)
     if not args.quiet:
         if signaled:
             name = signal.Signals(received[0]).name
             status = f"interrupted by {name}"
+        elif backend_failed:
+            status = "interrupted by backend failure"
         else:
             status = "interrupted" if result.interrupted else "completed"
         print(f"run {spec.name!r} {status} at step {result.final_step}"
               + (f" (checkpoint: {result.checkpoint_path})"
                  if result.checkpoint_path else ""), flush=True)
-    if signaled:
+    if signaled or backend_failed:
         return EXIT_SIGNALED
     return EXIT_INTERRUPTED if result.interrupted else 0
 

@@ -20,7 +20,14 @@ bytes live (the full on-disk contract is specified in
   and content-deduplicated; tiny arrays (below
   :data:`NPZ_INLINE_THRESHOLD` bytes) stay inline in a compact
   zlib-compressed encoding because the per-member zip overhead would
-  exceed their payload.
+  exceed their payload,
+* :class:`ShardedPayloadStore` — one ``.ckpt.rank<r>.npz`` file per rank:
+  each array is block-partitioned per a
+  :class:`~repro.backends.distributed.distribution.Distribution` over the
+  configured shard count and rank ``r``'s file holds its block of every
+  array (the distributed backend's checkpoint layout; see
+  ``docs/distributed.md``).  Reassembly is bitwise, so sharded checkpoints
+  restore on any backend and rank count.
 
 The (de)serializers for MPS/PEPS/environments are written once against the
 store interface — ``to_dict(obj, store=...)`` / ``from_dict(payload,
@@ -74,7 +81,8 @@ SUPPORTED_FORMAT_VERSIONS = (1, 2)
 #: Payload format names (the ``RunSpec.checkpoint_payload`` knob).
 PAYLOAD_INLINE = "inline"
 PAYLOAD_NPZ = "npz"
-PAYLOAD_FORMATS = (PAYLOAD_INLINE, PAYLOAD_NPZ)
+PAYLOAD_SHARDED = "sharded"
+PAYLOAD_FORMATS = (PAYLOAD_INLINE, PAYLOAD_NPZ, PAYLOAD_SHARDED)
 
 #: Arrays smaller than this many bytes stay inline even under the npz store:
 #: one zip member costs ~250 bytes of container overhead (local + central
@@ -299,28 +307,7 @@ class NpzPayloadStore(PayloadStore):
         streaming (no re-read) and left in :attr:`last_digest`.
         """
         path = os.fspath(path)
-        directory = os.path.dirname(path) or "."
-        os.makedirs(directory, exist_ok=True)
-        fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".tmp-", suffix=".npz")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                writer = _HashingWriter(handle)
-                with zipfile.ZipFile(writer, "w", zipfile.ZIP_DEFLATED) as archive:
-                    for key, array in self._arrays.items():
-                        info = zipfile.ZipInfo(key + ".npy", date_time=(1980, 1, 1, 0, 0, 0))
-                        member = stdlib_io.BytesIO()
-                        np.lib.format.write_array(member, array, allow_pickle=False)
-                        archive.writestr(
-                            info, member.getvalue(), zipfile.ZIP_DEFLATED, 9
-                        )
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_path, path)
-        except BaseException:
-            if os.path.exists(tmp_path):
-                os.unlink(tmp_path)
-            raise
-        self.last_digest = writer.hexdigest()
+        self.last_digest = _write_npz_atomic(path, self._arrays)
         return path
 
     def close(self) -> None:
@@ -329,12 +316,188 @@ class NpzPayloadStore(PayloadStore):
             self._npz = None
 
 
-def make_payload_store(payload_format: Optional[str]) -> PayloadStore:
-    """Fresh write-side store for a ``RunSpec.checkpoint_payload`` value."""
+def _write_npz_atomic(path: str, arrays: Dict[str, np.ndarray]) -> str:
+    """Deterministic atomic npz write shared by the npz and sharded stores.
+
+    Fixed member timestamps, insertion order and deflate level 9 make the
+    zip bytes a pure function of the arrays; temp file + fsync +
+    ``os.replace`` keeps the write atomic.  Returns the file's SHA-256,
+    accumulated while streaming (no re-read).
+    """
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".tmp-", suffix=".npz")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            writer = _HashingWriter(handle)
+            with zipfile.ZipFile(writer, "w", zipfile.ZIP_DEFLATED) as archive:
+                for key, array in arrays.items():
+                    info = zipfile.ZipInfo(key + ".npy", date_time=(1980, 1, 1, 0, 0, 0))
+                    member = stdlib_io.BytesIO()
+                    np.lib.format.write_array(member, array, allow_pickle=False)
+                    archive.writestr(info, member.getvalue(), zipfile.ZIP_DEFLATED, 9)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+    return writer.hexdigest()
+
+
+class ShardedPayloadStore(PayloadStore):
+    """Per-rank checkpoint payloads for the distributed backend.
+
+    Writing: ``put`` registers each super-threshold array (content
+    deduplicated like the npz store) together with a
+    :class:`~repro.backends.distributed.distribution.Distribution` of its
+    shape over ``nshards`` ranks, and returns a self-describing reference
+    ``{"shard": key, "dtype", "shape", "grid"}``; :meth:`save_shards` then
+    writes one deterministic ``.ckpt.rank<r>.npz`` file per rank, rank
+    ``r``'s file holding its contiguous block of every array.  Scalars and
+    sub-threshold arrays stay inline — a tiny array split ``nshards`` ways
+    would be pure container overhead.
+
+    Reading: :meth:`open` wraps the rank files listed in the checkpoint
+    document; ``get`` loads each rank's block and reassembles bitwise via
+    the reference's recorded grid, so restore works on any backend and any
+    rank count.
+    """
+
+    kind = PAYLOAD_SHARDED
+
+    def __init__(
+        self, nshards: int = 1, inline_threshold: int = NPZ_INLINE_THRESHOLD
+    ) -> None:
+        self.nshards = max(1, int(nshards))
+        self.inline_threshold = int(inline_threshold)
+        self._arrays: Dict[str, np.ndarray] = {}
+        self._dists: Dict[str, Any] = {}
+        self._by_digest: Dict[Tuple[str, Tuple[int, ...], bytes], str] = {}
+        self._shards: Optional[List[Any]] = None
+        #: ``[{"file", "sha256"}, ...]`` of the last :meth:`save_shards`.
+        self.last_shards: Optional[List[Dict[str, str]]] = None
+
+    @classmethod
+    def open(cls, paths: List[str]) -> "ShardedPayloadStore":
+        """Read-only store over an existing set of per-rank files."""
+        store = cls(nshards=max(1, len(paths)))
+        store._shards = [np.load(os.fspath(path)) for path in paths]
+        return store
+
+    @property
+    def paths(self) -> List[str]:
+        """The payload paths registered (write side) or present (read side)."""
+        if self._shards is not None:
+            seen: List[str] = []
+            for handle in self._shards:
+                seen.extend(k for k in handle.files if k not in seen)
+            return seen
+        return list(self._arrays)
+
+    def put(self, path: str, array: np.ndarray) -> Dict[str, Any]:
+        from repro.backends.distributed.distribution import Distribution
+
+        if self._shards is not None:
+            raise SerializationError("this payload store was opened read-only")
+        array = np.ascontiguousarray(array)
+        if array.ndim == 0 or array.nbytes < self.inline_threshold:
+            return _encode_array_compact(array)
+        digest = (array.dtype.str, array.shape, hashlib.sha256(array.data).digest())
+        key = self._by_digest.get(digest)
+        if key is None:
+            if path in self._arrays:
+                raise SerializationError(f"duplicate payload path {path!r}")
+            self._arrays[path] = array
+            self._dists[path] = Distribution.natural(array.shape, self.nshards)
+            self._by_digest[digest] = path
+            key = path
+        dist = self._dists[key]
+        return {
+            "shard": key,
+            "dtype": array.dtype.str,
+            "shape": list(array.shape),
+            "grid": list(dist.grid.dims),
+        }
+
+    def get(self, payload: Dict[str, Any]) -> np.ndarray:
+        from repro.backends.distributed.distribution import (
+            Distribution,
+            ProcessorGrid,
+        )
+
+        if "shard" not in payload:
+            return _decode_array(payload)
+        key = payload["shard"]
+        if self._shards is None:
+            if key in self._arrays:
+                return self._arrays[key].copy()
+            raise SerializationError(f"unknown shard payload key {key!r}")
+        dist = Distribution(
+            shape=tuple(int(d) for d in payload["shape"]),
+            grid=ProcessorGrid(dims=tuple(int(g) for g in payload["grid"])),
+        )
+        if dist.nprocs > len(self._shards):
+            raise SerializationError(
+                f"payload {key!r} needs {dist.nprocs} rank files, the "
+                f"checkpoint lists {len(self._shards)}"
+            )
+        blocks = []
+        for rank in range(dist.nprocs):
+            handle = self._shards[rank]
+            if key not in handle.files:
+                raise SerializationError(
+                    f"payload {key!r} is missing from rank file {rank}"
+                )
+            blocks.append(np.asarray(handle[key]))
+        array = dist.reassemble(blocks)
+        return array.astype(np.dtype(payload["dtype"]), copy=False)
+
+    def save_shards(
+        self, directory: Union[str, os.PathLike], name: str, step: int
+    ) -> List[Dict[str, str]]:
+        """Atomically write every rank's file; returns ``[{"file", "sha256"}]``.
+
+        All ``nshards`` files are written even when some rank's blocks are
+        empty (over-decomposed modes), so the checkpoint document's shard
+        list always has one entry per rank.
+        """
+        directory = os.fspath(directory)
+        shards: List[Dict[str, str]] = []
+        for rank in range(self.nshards):
+            members = {
+                key: self._dists[key].shard(array, rank)
+                for key, array in self._arrays.items()
+            }
+            filename = shard_filename(name, step, rank)
+            sha256 = _write_npz_atomic(os.path.join(directory, filename), members)
+            shards.append({"file": filename, "sha256": sha256})
+        self.last_shards = shards
+        return shards
+
+    def close(self) -> None:
+        if self._shards is not None:
+            for handle in self._shards:
+                handle.close()
+            self._shards = None
+
+
+def make_payload_store(
+    payload_format: Optional[str], nshards: int = 1
+) -> PayloadStore:
+    """Fresh write-side store for a ``RunSpec.checkpoint_payload`` value.
+
+    ``nshards`` only matters for the ``"sharded"`` format, where it sets the
+    rank count of the per-array distributions (the runner passes the
+    backend's ``nprocs``).
+    """
     if payload_format in (None, PAYLOAD_INLINE):
         return InlinePayloadStore()
     if payload_format == PAYLOAD_NPZ:
         return NpzPayloadStore()
+    if payload_format == PAYLOAD_SHARDED:
+        return ShardedPayloadStore(nshards=nshards)
     raise SerializationError(
         f"unknown payload format {payload_format!r}; expected one of {PAYLOAD_FORMATS}"
     )
@@ -774,6 +937,55 @@ def sidecar_for(json_path: str) -> str:
     return json_path[: -len(".json")] + ".npz"
 
 
+def shard_filename(name: str, step: int, rank: int) -> str:
+    """Rank ``rank``'s payload file of a sharded-format checkpoint."""
+    return f"{name}-step{int(step):06d}.ckpt.rank{int(rank)}.npz"
+
+
+def _shard_files_for(json_path: str) -> List[str]:
+    """Every on-disk ``.ckpt.rank<r>.npz`` file belonging to a checkpoint.
+
+    Scans the directory rather than trusting the document: pruning must also
+    sweep rank files from a superseded session that ran with more ranks.
+    """
+    stem = json_path[: -len(".json")]  # ...-stepNNNNNN.ckpt
+    directory = os.path.dirname(stem) or "."
+    base = os.path.basename(stem)
+    out: List[str] = []
+    if not os.path.isdir(directory):
+        return out
+    for entry in os.listdir(directory):
+        if not entry.startswith(base + ".rank") or not entry.endswith(".npz"):
+            continue
+        rank_part = entry[len(base) + len(".rank"): -len(".npz")]
+        if rank_part.isdigit():
+            out.append(os.path.join(directory, entry))
+    return out
+
+
+def _list_shard_files(
+    directory: Union[str, os.PathLike], name: Optional[str]
+) -> List[Tuple[int, str]]:
+    """All ``<name>-step<N>.ckpt.rank<r>.npz`` files in ``directory``."""
+    directory = os.fspath(directory)
+    if not os.path.isdir(directory):
+        return []
+    out: List[Tuple[int, str]] = []
+    for entry in os.listdir(directory):
+        if not entry.endswith(".npz"):
+            continue
+        stem, sep, rank_part = entry[: -len(".npz")].rpartition(".rank")
+        if not sep or not rank_part.isdigit() or not stem.endswith(".ckpt"):
+            continue
+        base, sep, step_part = stem[: -len(".ckpt")].rpartition("-step")
+        if not sep or not step_part.isdigit():
+            continue
+        if name is not None and base != name:
+            continue
+        out.append((int(step_part), os.path.join(directory, entry)))
+    return out
+
+
 def _file_sha256(path: str) -> str:
     digest = hashlib.sha256()
     with open(path, "rb") as handle:
@@ -822,6 +1034,10 @@ def write_checkpoint(
         payload["sidecar"] = sidecar
         store.save(os.path.join(directory, sidecar))
         payload["sidecar_sha256"] = store.last_digest
+    elif isinstance(store, ShardedPayloadStore) and store.paths:
+        # Rank files land before the JSON document replaces the previous
+        # checkpoint, same ordering discipline as the npz sidecar.
+        payload["shards"] = store.save_shards(directory, name, step)
     path = os.path.join(directory, checkpoint_filename(name, step))
     atomic_write_json(path, payload)
     if keep and keep > 0:
@@ -829,6 +1045,8 @@ def write_checkpoint(
         for _, stale in existing[:-keep]:
             _unlink_quiet(stale)
             _unlink_quiet(sidecar_for(stale))
+            for shard in _shard_files_for(stale):
+                _unlink_quiet(shard)
     return path
 
 
@@ -846,8 +1064,12 @@ def clear_checkpoints(directory: Union[str, os.PathLike], name: str) -> int:
         if _unlink_quiet(path):
             removed += 1
         _unlink_quiet(sidecar_for(path))
+        for shard in _shard_files_for(path):
+            _unlink_quiet(shard)
     for _, sidecar in _list_checkpoint_files(directory, name, ".ckpt.npz"):
         _unlink_quiet(sidecar)
+    for _, shard in _list_shard_files(directory, name):
+        _unlink_quiet(shard)
     return removed
 
 
@@ -885,6 +1107,34 @@ def open_payload_store(
         )
     if payload_format == PAYLOAD_INLINE:
         return InlinePayloadStore()
+    if payload_format == PAYLOAD_SHARDED:
+        shards = payload.get("shards") or []
+        if not shards:
+            return ShardedPayloadStore()
+        if path is None:
+            raise SerializationError(
+                "checkpoint references rank files; pass the checkpoint path "
+                "so they can be located"
+            )
+        base = os.path.dirname(os.fspath(path)) or "."
+        shard_paths = []
+        for entry in shards:
+            shard_path = os.path.join(base, entry["file"])
+            if not os.path.exists(shard_path):
+                raise SerializationError(
+                    f"checkpoint rank file {shard_path!r} is missing; the "
+                    f"checkpoint cannot be restored without it"
+                )
+            expected = entry.get("sha256")
+            if expected is not None and _file_sha256(shard_path) != expected:
+                raise SerializationError(
+                    f"checkpoint rank file {shard_path!r} does not match the "
+                    f"digest recorded in the checkpoint document (torn rewrite "
+                    f"or external modification); refusing to restore mixed "
+                    f"tensors"
+                )
+            shard_paths.append(shard_path)
+        return ShardedPayloadStore.open(shard_paths)
     sidecar = payload.get("sidecar")
     if sidecar is None:
         return NpzPayloadStore()

@@ -21,9 +21,10 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Union
 
+from repro.backends import BackendExecutionError
 from repro.sim import io as sim_io
 from repro.sim.sinks import ResultSink, make_sink
-from repro.sim.spec import RunSpec
+from repro.sim.spec import RunSpec, canonical_backend_kind
 from repro.sim.workloads import Workload, build_workload
 from repro.telemetry.metrics import REGISTRY
 from repro.telemetry.trace import TRACER, span as _span
@@ -44,9 +45,15 @@ class SimulationResult:
     checkpoint_path: Optional[str] = None
     summary: Dict[str, Any] = field(default_factory=dict)
     #: why the run stopped early: ``None`` (ran to completion),
-    #: ``"stop_after"`` (the testing knob) or ``"stop_requested"`` (an
-    #: external stop request, e.g. a SIGTERM/SIGINT handler).
+    #: ``"stop_after"`` (the testing knob), ``"stop_requested"`` (an
+    #: external stop request, e.g. a SIGTERM/SIGINT handler) or
+    #: ``"backend_failure"`` (the backend lost the ability to execute, e.g.
+    #: a pool worker died past its restart budget; the last *scheduled*
+    #: checkpoint is kept and no new one is written, because the in-place
+    #: mutated state of the failed step is torn).
     stop_reason: Optional[str] = None
+    #: the backend error message when ``stop_reason == "backend_failure"``.
+    error: Optional[str] = None
 
     @property
     def energies(self) -> List[float]:
@@ -129,13 +136,22 @@ class Simulation:
     def _write_checkpoint(self, step: int, records: List[Dict[str, Any]]) -> str:
         # One fresh store per checkpoint: the workload serializes its tensors
         # through it, then write_checkpoint lands the arrays in the sidecar
-        # (npz) or leaves them inline, per spec.checkpoint_payload.
-        store = sim_io.make_payload_store(self.spec.checkpoint_payload)
+        # (npz), in per-rank files (sharded — one per backend rank) or
+        # leaves them inline, per spec.checkpoint_payload.
+        nshards = 1
+        if self.spec.checkpoint_payload == sim_io.PAYLOAD_SHARDED:
+            nshards = int(getattr(self.spec.resolve_backend(), "nprocs", 1))
+        store = sim_io.make_payload_store(self.spec.checkpoint_payload, nshards=nshards)
         # Telemetry is observational, never part of the run definition: strip
         # it from the persisted spec so traced and untraced sessions write
+        # bitwise-identical checkpoints (and resume across each other).  The
+        # backend persists as its canonical kind for the same reason: the
+        # executor and rank count affect where the arithmetic runs, not what
+        # it computes, so pool and simulated sessions of one run must write
         # bitwise-identical checkpoints (and resume across each other).
         spec_payload = self.spec.to_dict()
         spec_payload.pop("telemetry", None)
+        spec_payload["backend"] = canonical_backend_kind(self.spec.backend)
         with _span("checkpoint", step=step):
             return sim_io.write_checkpoint(
                 self.spec.checkpoint_dir,
@@ -162,7 +178,7 @@ class Simulation:
         # and output knobs (n_steps, measure_every, results, checkpointing)
         # may legitimately change between sessions (e.g. extending a run).
         physics_fields = (
-            "workload", "lattice", "seed", "backend",
+            "workload", "lattice", "seed",
             "model", "algorithm", "update", "contraction",
         )
         mismatched = [
@@ -170,6 +186,13 @@ class Simulation:
             if sim_io.canonical_json(getattr(saved_spec, name))
             != sim_io.canonical_json(getattr(self.spec, name))
         ]
+        # Backends compare by canonical kind only: the executor and rank
+        # count change where the arithmetic runs, not what it computes, so a
+        # pool run may resume a simulated checkpoint and vice versa.
+        if canonical_backend_kind(saved_spec.backend) != canonical_backend_kind(
+            self.spec.backend
+        ):
+            mismatched.append("backend")
         if mismatched:
             raise ValueError(
                 f"checkpoint {os.fspath(path)!r} was written by an incompatible spec "
@@ -235,6 +258,7 @@ class Simulation:
         checkpoint_path: Optional[str] = resumed_from
         interrupted = False
         stop_reason: Optional[str] = None
+        error: Optional[str] = None
         steps_this_session = 0
         step = start_step
 
@@ -291,10 +315,23 @@ class Simulation:
                     interrupted = True
                     stop_reason = "stop_after"
                     break
+        except BackendExecutionError as exc:
+            # The backend can no longer execute (e.g. a pool worker died past
+            # its restart budget).  The step in flight mutated the state in
+            # place, so it is torn: deliberately do NOT write a checkpoint —
+            # the last scheduled one stays the newest and the run resumes
+            # from there.
+            interrupted = True
+            stop_reason = "backend_failure"
+            error = f"step {step}: {exc}"
         finally:
             self.sink.close()
             if started_tracer:
                 TRACER.stop()
+            # Release the backend the spec built (worker pools in
+            # particular); the next run() resolves a fresh one.  A live
+            # instance supplied by the caller is left open.
+            spec.close_backend()
 
         summary = {} if interrupted else self.workload.summary()
         return SimulationResult(
@@ -305,6 +342,7 @@ class Simulation:
             checkpoint_path=checkpoint_path,
             summary=summary,
             stop_reason=stop_reason,
+            error=error,
         )
 
 

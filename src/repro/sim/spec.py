@@ -32,9 +32,10 @@ so one integer pins the whole run.
 
 from __future__ import annotations
 
+import copy
 import json
 import os
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.lattice import Lattice, lattice_from_config
@@ -47,6 +48,12 @@ from repro.sim.io import (
 
 #: Version of the spec schema (bumped on incompatible field changes).
 SPEC_VERSION = 1
+
+#: Keys a dict-valued ``RunSpec.backend`` config may carry.
+_BACKEND_CONFIG_KEYS = {"kind", "nprocs", "executor", "fault", "max_restarts", "timeout"}
+
+#: Registry aliases resolved by :func:`canonical_backend_kind`.
+_BACKEND_ALIASES = {"np": "numpy", "ctf": "distributed", "cyclops": "distributed"}
 
 #: Recognized model kinds and their Hamiltonian builders (name -> callable).
 MODEL_BUILDERS: Dict[str, Any] = {}
@@ -116,7 +123,15 @@ class RunSpec:
     seed:
         Root seed; every stochastic component derives a named substream.
     backend:
-        Tensor backend name (``"numpy"`` or ``"distributed"``).
+        Tensor backend: a name (``"numpy"`` or ``"distributed"``), a live
+        :class:`~repro.backends.interface.Backend` instance (in-process use
+        only), or a config dict ``{"kind": "distributed", "nprocs": 2,
+        "executor": "pool"}`` with optional ``fault``, ``max_restarts`` and
+        ``timeout`` keys (see ``docs/distributed.md``).  Workloads obtain
+        the resolved (and cached) instance via :meth:`resolve_backend`.
+        Checkpoints persist only the *canonical kind*
+        (:func:`canonical_backend_kind`), so results and checkpoint hashes
+        are comparable across executors and rank counts.
     model:
         Model config: ``{"kind": <registered model>, **params}``.
     algorithm:
@@ -174,7 +189,7 @@ class RunSpec:
     lattice: Union[Tuple[int, int], Dict[str, Any]] = (2, 2)
     n_steps: Optional[int] = None
     seed: int = 0
-    backend: str = "numpy"
+    backend: Union[str, Dict[str, Any], Any] = "numpy"
     model: Dict[str, Any] = field(default_factory=dict)
     algorithm: Dict[str, Any] = field(default_factory=dict)
     update: Optional[Dict[str, Any]] = None
@@ -222,6 +237,26 @@ class RunSpec:
                 )
         if self.seed is not None:
             self.seed = int(self.seed)
+        if isinstance(self.backend, dict):
+            self.backend = dict(self.backend)
+            kind = self.backend.get("kind")
+            if not isinstance(kind, str):
+                raise ValueError(
+                    'a backend config dict needs a string "kind" entry, '
+                    f"got {kind!r}"
+                )
+            unknown = set(self.backend) - _BACKEND_CONFIG_KEYS
+            if unknown:
+                raise ValueError(
+                    f"unknown backend config keys {sorted(unknown)}; "
+                    f"known keys: {sorted(_BACKEND_CONFIG_KEYS)}"
+                )
+            executor = self.backend.get("executor")
+            if executor is not None and executor not in ("simulated", "pool"):
+                raise ValueError(
+                    f'backend executor must be "simulated" or "pool", '
+                    f"got {executor!r}"
+                )
         if self.telemetry is not None:
             self.telemetry = dict(self.telemetry)
             unknown = set(self.telemetry) - {"metrics", "trace"}
@@ -267,13 +302,26 @@ class RunSpec:
             return cls.from_dict(json.load(handle))
 
     def to_dict(self) -> Dict[str, Any]:
-        payload = asdict(self)
+        # Not dataclasses.asdict: that deep-copies every field value, and an
+        # in-process run may carry a live Backend instance (worker pipes,
+        # attached counters) in the backend field.  Field order is preserved
+        # — checkpoints serialize this dict, so key order is part of the
+        # bitwise contract.
+        payload = {}
+        for name in self.__dataclass_fields__:
+            value = getattr(self, name)
+            if name == "backend":
+                if isinstance(value, dict):
+                    value = dict(value)
+                else:
+                    # A live Backend instance persists as its registry name.
+                    value = getattr(value, "name", value)
+            else:
+                value = copy.deepcopy(value)
+            payload[name] = value
         if not isinstance(self.lattice, dict):
             payload["lattice"] = list(self.lattice)
         payload["observables"] = list(self.observables)
-        # An in-process run may carry a live Backend instance (e.g. one with
-        # an attached FlopCounter); persist its registry name instead.
-        payload["backend"] = getattr(self.backend, "name", self.backend)
         payload["spec_version"] = SPEC_VERSION
         return payload
 
@@ -331,6 +379,60 @@ class RunSpec:
     def build_contract_option(self):
         """Contraction option from the ``contraction`` config (``None`` = default)."""
         return contract_option_from_dict(_normalize_contraction(self.contraction))
+
+    # ------------------------------------------------------------------ #
+    # Backend resolution
+    # ------------------------------------------------------------------ #
+    def resolve_backend(self):
+        """The run's :class:`~repro.backends.interface.Backend` instance.
+
+        A name or config-dict backend is constructed once and cached, so
+        every workload component of the run shares the same instance (and,
+        for ``executor: "pool"``, the same worker pool).  A live instance in
+        the ``backend`` field is returned as-is.
+        """
+        from repro.backends import Backend, get_backend
+
+        if isinstance(self.backend, Backend):
+            return self.backend
+        cached = getattr(self, "_backend_instance", None)
+        if cached is not None:
+            return cached
+        if isinstance(self.backend, dict):
+            config = dict(self.backend)
+            instance = get_backend(config.pop("kind"), **config)
+        else:
+            instance = get_backend(self.backend)
+        self._backend_instance = instance
+        return instance
+
+    def close_backend(self) -> None:
+        """Release the cached backend (worker pools, etc.), if one was built.
+
+        A live instance supplied directly in the ``backend`` field is left
+        untouched — its owner closes it.
+        """
+        cached = getattr(self, "_backend_instance", None)
+        if cached is not None:
+            self._backend_instance = None
+            cached.close()
+
+
+def canonical_backend_kind(value: Any) -> str:
+    """The canonical backend-kind string for any ``RunSpec.backend`` value.
+
+    Names and aliases normalize to the registry kind (``"np"`` -> ``"numpy"``,
+    ``"ctf"``/``"cyclops"`` -> ``"distributed"``), config dicts reduce to
+    their ``"kind"``, and live instances report their ``name`` attribute.
+    Checkpoints persist this string (not the executor or rank count), so a
+    run's checkpoints hash identically whichever executor produced them and
+    a pool run can resume a simulated one and vice versa.
+    """
+    if isinstance(value, dict):
+        value = value.get("kind", "")
+    value = getattr(value, "name", value)
+    name = str(value).lower()
+    return _BACKEND_ALIASES.get(name, name)
 
 
 def apply_spec_override(payload: Dict[str, Any], path: str, value: Any) -> None:

@@ -181,13 +181,14 @@ class ITEWorkload(Workload):
         )
         initial = alg.get("initial_state", "plus")
         if initial == "plus":
-            state = self.ite.initial_state(spec.backend)
+            state = self.ite.initial_state(spec.resolve_backend())
         elif initial == "zeros":
-            state = peps_module.computational_zeros(spec.nrow, spec.ncol,
-                                                    backend=spec.backend)
+            state = peps_module.computational_zeros(
+                spec.nrow, spec.ncol, backend=spec.resolve_backend()
+            )
         elif isinstance(initial, (list, tuple)):
             state = peps_module.computational_basis(
-                list(initial), spec.nrow, spec.ncol, backend=spec.backend
+                list(initial), spec.nrow, spec.ncol, backend=spec.resolve_backend()
             )
         else:
             raise ValueError(f"unknown initial_state {initial!r}")
@@ -247,7 +248,7 @@ class ITEWorkload(Workload):
         self, payload: Dict[str, Any], store: Optional[PayloadStore] = None
     ) -> None:
         self._check_state(payload)
-        self.state = peps_from_dict(payload["peps"], backend=self.spec.backend, store=store)
+        self.state = peps_from_dict(payload["peps"], backend=self.spec.resolve_backend(), store=store)
         if self.state.environment is None:
             self.state.attach_environment(self.ite.contract_option)
 
@@ -284,7 +285,7 @@ class VQEWorkload(Workload):
             simulator=alg.get("simulator", "peps"),
             update_option=spec.build_update_option(),
             contract_option=spec.build_contract_option(),
-            backend=spec.backend,
+            backend=spec.resolve_backend(),
         )
         initial = alg.get("initial_parameters")
         if initial is None:
@@ -392,7 +393,7 @@ class RQCAmplitudeWorkload(Workload):
         self.update_option = spec.build_update_option()
         self.contract_option = spec.build_contract_option()
         self.state = peps_module.computational_zeros(
-            spec.nrow, spec.ncol, backend=spec.backend
+            spec.nrow, spec.ncol, backend=spec.resolve_backend()
         )
 
     def total_steps(self) -> int:
@@ -431,4 +432,4 @@ class RQCAmplitudeWorkload(Workload):
         self, payload: Dict[str, Any], store: Optional[PayloadStore] = None
     ) -> None:
         self._check_state(payload)
-        self.state = peps_from_dict(payload["peps"], backend=self.spec.backend, store=store)
+        self.state = peps_from_dict(payload["peps"], backend=self.spec.resolve_backend(), store=store)

@@ -1,0 +1,181 @@
+"""Serial <-> parallel parity tests for the pool executor.
+
+The distributed backend's two executors — ``simulated`` (in-process) and
+``pool`` (a persistent pool of worker processes) — must be *bitwise*
+interchangeable: same einsum results, same collective payloads, same
+predicted cost-model charges.  These tests pin that contract at the unit
+level (the CLI-level golden parity lives in ``test_spec_golden.py``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import get_backend
+from repro.backends.distributed import execute_plan, plan_einsum
+from repro.backends.distributed.engine import (
+    CANONICAL_PARTS,
+    concat_blocks,
+    shard_bounds,
+    slice_operands,
+)
+from tests.conftest import random_complex
+
+EINSUM_CASES = [
+    ("ab,bc->ac", [(6, 5), (5, 7)]),
+    ("abc,cd->abd", [(3, 4, 5), (5, 6)]),
+    ("aijb,cjkd,ik->acbd", [(2, 3, 4, 3), (2, 4, 5, 6), (3, 5)]),
+    ("ab,ab->", [(5, 6), (5, 6)]),
+    ("abcd->badc", [(2, 3, 4, 5)]),
+    ("ab,bc,cd->ad", [(4, 5), (5, 6), (6, 3)]),
+    ("xy,yz->xz", [(1, 7), (7, 2)]),
+]
+
+
+class TestPlanEinsum:
+    def test_plan_fixes_canonical_partition(self):
+        plan = plan_einsum("ab,bc->ac", [(40, 5), (5, 7)])
+        assert plan.shard_label == "a"
+        assert plan.shard_extent == 40
+        assert plan.shard_parts == CANONICAL_PARTS
+        bounds = plan.canonical_bounds()
+        assert bounds[0][0] == 0 and bounds[-1][1] == 40
+        assert all(lo <= hi for lo, hi in bounds)
+
+    def test_small_extent_caps_parts(self):
+        plan = plan_einsum("ab,bc->ac", [(3, 5), (5, 2)])
+        assert plan.shard_label == "a"
+        assert plan.shard_parts == 3
+
+    def test_scalar_output_has_no_shard_label(self):
+        plan = plan_einsum("ab,ab->", [(4, 5), (4, 5)])
+        assert plan.shard_label is None
+
+    def test_unparseable_subscripts_fall_back(self):
+        plan = plan_einsum("a...b,b->a...", [(2, 3, 4), (4,)])
+        assert plan.fallback
+        assert plan.shard_label is None
+
+    def test_plans_are_picklable(self):
+        import pickle
+
+        plan = plan_einsum("ab,bc->ac", [(6, 5), (5, 7)])
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+    def test_execute_is_invariant_to_bounds_split(self, rng):
+        # The same canonical blocks, grouped into rank ranges differently,
+        # must produce the same bytes: this is the parity mechanism.
+        ops = [random_complex(rng, (6, 5)), random_complex(rng, (5, 7))]
+        plan = plan_einsum("ab,bc->ac", [o.shape for o in ops])
+        whole = execute_plan(plan, ops)
+        bounds = plan.canonical_bounds()
+        for split in (1, 2, 3, len(bounds)):
+            cuts = shard_bounds(len(bounds), split)
+            blocks = []
+            for first, last in cuts:
+                if last <= first:
+                    continue
+                lo, hi = bounds[first][0], bounds[last - 1][1]
+                local = slice_operands(plan, ops, lo, hi)
+                relative = [(a - lo, b - lo) for a, b in bounds[first:last]]
+                blocks.append(execute_plan(plan, local, bounds=relative))
+            merged = concat_blocks(plan, blocks)
+            assert merged.tobytes() == whole.tobytes()
+
+
+class TestPoolParity:
+    @pytest.mark.parametrize("nprocs", [1, 2, 3, 4])
+    def test_einsum_bitwise_matches_simulated(self, rng, nprocs):
+        sim = get_backend("distributed", nprocs=nprocs)
+        pool = get_backend("distributed", nprocs=nprocs, executor="pool")
+        try:
+            for subscripts, shapes in EINSUM_CASES:
+                ops = [random_complex(rng, s) for s in shapes]
+                # Stress layout independence: a transposed view operand.
+                ops[0] = ops[0].transpose().transpose()
+                a = sim.einsum(subscripts, *[sim.astensor(o) for o in ops])
+                b = pool.einsum(subscripts, *[pool.astensor(o) for o in ops])
+                ra, rb = np.asarray(sim.asarray(a)), np.asarray(pool.asarray(b))
+                assert ra.tobytes() == rb.tobytes(), (subscripts, nprocs)
+        finally:
+            pool.close()
+
+    def test_einsum_bitwise_invariant_to_rank_count(self, rng):
+        reference = {}
+        for nprocs in (1, 2, 5):
+            pool = get_backend("distributed", nprocs=nprocs, executor="pool")
+            try:
+                for subscripts, shapes in EINSUM_CASES:
+                    ops = [random_complex(np.random.default_rng(3), s) for s in shapes]
+                    out = pool.einsum(subscripts, *[pool.astensor(o) for o in ops])
+                    data = np.asarray(pool.asarray(out)).tobytes()
+                    reference.setdefault(subscripts, data)
+                    assert reference[subscripts] == data, (subscripts, nprocs)
+            finally:
+                pool.close()
+
+    def test_batched_einsum_parity(self, rng):
+        sim = get_backend("distributed", nprocs=3)
+        pool = get_backend("distributed", nprocs=3, executor="pool")
+        try:
+            a = random_complex(rng, (4, 3, 5))
+            b = random_complex(rng, (4, 5, 6))
+            rs = sim.einsum_batched("ab,bc->ac", sim.astensor(a), sim.astensor(b))
+            rp = pool.einsum_batched("ab,bc->ac", pool.astensor(a), pool.astensor(b))
+            assert np.asarray(sim.asarray(rs)).tobytes() == np.asarray(pool.asarray(rp)).tobytes()
+            x = random_complex(rng, (4, 7))
+            ss = sim.einsum_batched("a,a->", sim.astensor(x), sim.astensor(x.conj()))
+            sp = pool.einsum_batched("a,a->", pool.astensor(x), pool.astensor(x.conj()))
+            assert np.asarray(sim.asarray(ss)).tobytes() == np.asarray(pool.asarray(sp)).tobytes()
+        finally:
+            pool.close()
+
+    def test_collectives_bitwise_transparent(self, rng):
+        pool = get_backend("distributed", nprocs=3, executor="pool")
+        try:
+            x = random_complex(rng, (5, 4))
+            for op in ("allreduce", "gather", "broadcast", "alltoall"):
+                out = getattr(pool.comm, op)(x)
+                assert np.asarray(out).tobytes() == x.tobytes(), op
+            pool.comm.barrier()
+        finally:
+            pool.close()
+
+    def test_predictor_charges_identical_across_executors(self, rng):
+        # The cost model stays a *predictor*: the charges must be a function
+        # of the work, never of which executor ran it.
+        sim = get_backend("distributed", nprocs=4)
+        pool = get_backend("distributed", nprocs=4, executor="pool")
+        try:
+            for be in (sim, pool):
+                ops = [random_complex(np.random.default_rng(1), (6, 5)),
+                       random_complex(np.random.default_rng(2), (5, 7))]
+                t = [be.astensor(o) for o in ops]
+                r = be.einsum("ab,bc->ac", *t)
+                be.asarray(r)
+                be.norm(r)
+                be.comm.allreduce(ops[0])
+                be.comm.barrier()
+            assert sim.simulated_seconds == pool.simulated_seconds
+            assert sim.stats.counts == pool.stats.counts
+            assert sim.stats.comm_bytes == pool.stats.comm_bytes
+        finally:
+            pool.close()
+
+    def test_pool_requests_are_counted(self, rng):
+        pool = get_backend("distributed", nprocs=2, executor="pool")
+        try:
+            ops = [random_complex(rng, (6, 5)), random_complex(rng, (5, 7))]
+            pool.einsum("ab,bc->ac", *[pool.astensor(o) for o in ops])
+            registry = pool.cost_model.stats.registry
+            total = sum(
+                registry.value("dist.pool.requests", op="contract", rank=str(r))
+                for r in range(2)
+            )
+            assert total >= 1
+        finally:
+            pool.close()
+
+    def test_close_is_idempotent(self):
+        pool = get_backend("distributed", nprocs=2, executor="pool")
+        pool.close()
+        pool.close()

@@ -74,6 +74,38 @@ class TestGoldenBitwise:
             assert hashlib.sha256(data).hexdigest() == digest, filename
 
 
+class TestDistributedParity:
+    """The pool executor reproduces the simulated backend's golden run
+    bitwise — identical records stream and checkpoint sha256 — for every
+    rank count.  This is the serial<->parallel parity guarantee: the block
+    placement of the contraction work must not leak into the numerics."""
+
+    @pytest.mark.parametrize("nprocs", [1, 2, 4], ids=lambda n: f"nprocs{n}")
+    def test_pool_executor_matches_simulated_golden(self, tmp_path, nprocs):
+        entry = GOLDEN["ite_dist_smoke"]
+        payload = json.loads((REPO_ROOT / entry["spec"]).read_text())
+        payload["backend"] = dict(
+            payload["backend"], executor="pool", nprocs=nprocs
+        )
+        spec_path = tmp_path / "pool.json"
+        spec_path.write_text(json.dumps(payload))
+
+        result = run_cli(
+            tmp_path, spec_path, "--quiet",
+            "--results", entry["results"],
+            "--checkpoint-dir", entry["checkpoint_dir"],
+        )
+        assert result.returncode == 0, result.stderr
+
+        produced = (tmp_path / entry["results"]).read_text()
+        golden = (GOLDEN_DIR / "ite_dist_smoke_records.jsonl").read_text()
+        assert produced == golden
+
+        for filename, digest in entry["checkpoints"].items():
+            data = (tmp_path / entry["checkpoint_dir"] / filename).read_bytes()
+            assert hashlib.sha256(data).hexdigest() == digest, filename
+
+
 class TestExampleSpecRoundTrip:
     @pytest.mark.parametrize(
         "path", sorted(SPEC_DIR.glob("*.json")), ids=lambda p: p.name,
