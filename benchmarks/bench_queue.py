@@ -1,0 +1,235 @@
+"""Lease-queue executor: throughput, overhead pin and requeue latency.
+
+The queue executor (``docs/serve.md``) runs every sweep point through the
+file-backed lease queue — atomic claims, heartbeats, crash requeues — so it
+needs two regression pins on top of the bitwise contract:
+
+1. **The queue is nearly free.**  At ``jobs=4`` on the smoke grid the queue
+   executor must finish within ``MAX_OVERHEAD_RATIO`` (10%) of the PR-4
+   worker pool on the same grid.  Both legs are timed interleaved,
+   alternating order per repeat, and the pinned statistic is the *minimum of
+   the per-repeat pair ratios* (wall-clock noise is additive and positive,
+   so the cleanest adjacent pair gives the fairest ratio — a genuine
+   regression slows every pair and still trips the pin).
+2. **Everything is bitwise.**  The combined results document of every leg —
+   serial, pool at 2/4 workers, queue at 2/4 workers, and a queue run whose
+   first point is SIGKILLed mid-epoch — must equal the serial golden byte
+   for byte.
+
+The harness also measures **requeue latency** — the gap between a crashed
+epoch's lease deadline and its successor's claim, read straight from the
+queue's claim records — and emits ``BENCH_queue.json``::
+
+    {
+      "benchmark": "queue",
+      "scale": "default",
+      "n_points": 4, "n_steps": 3,
+      "serial":  {"wall_s": ..., "points_per_s": ...},
+      "pool":    {"2": {...}, "4": {...}},
+      "queue":   {"2": {...}, "4": {...}},
+      "overhead_ratio": 1.03,           # best queue@4 / pool@4 pair
+                                        # (pin: <= 1.10)
+      "requeue": {"wall_s": ..., "latency_s": ..., "epochs": ...,
+                  "requeues": ..., "burned": ...},
+      "pool_bitwise_identical": true,
+      "queue_bitwise_identical": true,
+      "fault_bitwise_identical": true
+    }
+
+``wall_s``/``latency_s`` are machine-dependent; the bitwise flags and the
+queue stats are exact.  The ``queue-chaos`` CI job re-asserts the pins from
+the JSON.
+"""
+
+import json
+import os
+import time
+
+from repro.sim import Sweep, SweepSpec
+
+from benchmarks.conftest import SCALE, print_series, scaled
+
+N_STEPS = scaled(3, 5, smoke=2)
+REPEATS = scaled(3, 3, smoke=3)
+
+#: Pinned ceiling on (queue executor wall) / (pool executor wall) at jobs=4.
+MAX_OVERHEAD_RATIO = 1.10
+
+#: Lease for the fault leg: short enough to requeue fast, long enough that a
+#: healthy point (sub-second at this scale) never expires spuriously.
+FAULT_LEASE_SECONDS = 2.0
+
+MODEL = {"kind": "heisenberg_j1j2", "j1": [1.0, 1.0, 1.0],
+         "j2": [0.5, 0.5, 0.5], "field": [0.2, 0.2, 0.2]}
+
+BASE = {
+    "workload": "ite",
+    "lattice": [2, 2],
+    "n_steps": N_STEPS,
+    "seed": 7,
+    "model": MODEL,
+    "algorithm": {"tau": 0.05},
+    "update": {"kind": "qr", "rank": 2},
+    "contraction": {"kind": "ibmps", "bond": 4, "niter": 1, "seed": 0},
+    "checkpoint_every": 1,
+}
+
+AXES = {"update.rank": [1, 2], "contraction.bond": [2, 4]}
+
+
+def _spec(tmp_path, subdir, **overrides):
+    payload = {
+        "name": "bench-queue",
+        "base": dict(BASE),
+        "axes": dict(AXES),
+        "sweep_dir": str(tmp_path / subdir),
+    }
+    payload.update(overrides)
+    return SweepSpec.from_dict(payload)
+
+
+def _timed_sweep(tmp_path, subdir, jobs, executor, **overrides):
+    spec = _spec(tmp_path, subdir, **overrides)
+    sweep = Sweep(spec)
+    start = time.perf_counter()
+    result = sweep.run(jobs=jobs, executor=executor)
+    elapsed = time.perf_counter() - start
+    assert result.completed, result.statuses
+    with open(result.combined_path, "rb") as handle:
+        combined = handle.read()
+    return elapsed, combined, spec
+
+
+def _read_json(path):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _requeue_latency(sweep_dir, victim):
+    """Seconds between the crashed epoch's deadline and the requeue claim.
+
+    The queue directory *is* the state: epoch 0's effective deadline is its
+    newest heartbeat (falling back to the claim), and epoch 1's claim record
+    carries ``claimed_at`` — the difference is how long the point sat dead
+    before a worker picked it back up.
+    """
+    claims = os.path.join(sweep_dir, "queue", "claims", victim)
+    deadline = _read_json(os.path.join(claims, "0000.json"))["deadline"]
+    hb_path = os.path.join(claims, "0000.hb.json")
+    if os.path.exists(hb_path):
+        deadline = max(deadline, _read_json(hb_path)["deadline"])
+    requeued_at = _read_json(os.path.join(claims, "0001.json"))["claimed_at"]
+    return requeued_at - deadline
+
+
+def test_queue_executor_throughput_and_requeue(benchmark, tmp_path):
+    n_points = len(_spec(tmp_path, "probe").expand())
+    victim = _spec(tmp_path, "probe").expand()[0].name
+
+    walls = {}  # variant -> best wall_s
+    combined = {}  # variant -> combined document bytes (last run)
+    pair_ratios = []
+
+    def leg(variant, subdir, jobs, executor, **overrides):
+        elapsed, doc, _ = _timed_sweep(tmp_path, subdir, jobs, executor, **overrides)
+        walls[variant] = min(walls.get(variant, float("inf")), elapsed)
+        combined[variant] = doc
+        return elapsed
+
+    # Serial golden plus the 2-worker legs, once; then the pinned pair —
+    # pool@4 vs queue@4 — interleaved every repeat, alternating order (the
+    # first sweep of a repeat is systematically slower, so a fixed order
+    # would bias the ratio).
+    leg("serial", "serial", 1, "pool")
+    leg("pool2", "pool2", 2, "pool")
+    leg("queue2", "queue2", 2, "queue")
+    for repeat in range(REPEATS):
+        pair_legs = [("pool4", "pool"), ("queue4", "queue")]
+        if repeat % 2:
+            pair_legs.reverse()
+        pair = {}
+        for variant, executor in pair_legs:
+            pair[variant] = leg(variant, f"{variant}-r{repeat}", 4, executor)
+        pair_ratios.append(pair["queue4"] / pair["pool4"])
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    overhead_ratio = min(pair_ratios)
+    golden = combined["serial"]
+    pool_identical = combined["pool2"] == golden and combined["pool4"] == golden
+    queue_identical = combined["queue2"] == golden and combined["queue4"] == golden
+
+    # Fault leg: SIGKILL the first point's worker after one record, let the
+    # lease expire and the requeue resume it from its checkpoint.
+    fault_wall, fault_doc, fault_spec = _timed_sweep(
+        tmp_path, "fault", 2, "queue",
+        queue={
+            "lease_seconds": FAULT_LEASE_SECONDS,
+            "fault": {"job": victim, "mode": "sigkill",
+                      "after_records": 1, "epochs": [0]},
+        },
+    )
+    fault_identical = fault_doc == golden
+    manifest = Sweep.load_manifest(fault_spec.manifest_path)
+    stats = {entry["name"]: entry["queue"] for entry in manifest["points"]}
+    latency = _requeue_latency(fault_spec.sweep_dir, victim)
+
+    def summary(variant):
+        wall = walls[variant]
+        return {"wall_s": wall, "points_per_s": n_points / wall}
+
+    rows = [
+        ("serial", walls["serial"], n_points / walls["serial"], ""),
+        ("pool jobs=2", walls["pool2"], n_points / walls["pool2"], ""),
+        ("pool jobs=4", walls["pool4"], n_points / walls["pool4"], ""),
+        ("queue jobs=2", walls["queue2"], n_points / walls["queue2"], ""),
+        ("queue jobs=4", walls["queue4"], n_points / walls["queue4"],
+         f"{overhead_ratio:.4f}x pool@4"),
+        ("queue jobs=2 + SIGKILL", fault_wall, n_points / fault_wall,
+         f"requeue latency {latency:.2f}s"),
+    ]
+    print_series(
+        f"Queue executor on the {n_points}-point smoke grid ({N_STEPS} steps, "
+        f"best of {REPEATS})",
+        ("variant", "wall_s", "points/s", "notes"),
+        rows,
+    )
+    benchmark.extra_info["overhead_ratio"] = overhead_ratio
+    benchmark.extra_info["requeue_latency_s"] = latency
+
+    payload = {
+        "benchmark": "queue",
+        "scale": SCALE,
+        "n_points": n_points,
+        "n_steps": N_STEPS,
+        "serial": summary("serial"),
+        "pool": {"2": summary("pool2"), "4": summary("pool4")},
+        "queue": {"2": summary("queue2"), "4": summary("queue4")},
+        "overhead_ratio": overhead_ratio,
+        "requeue": {
+            "wall_s": fault_wall,
+            "latency_s": latency,
+            "lease_seconds": FAULT_LEASE_SECONDS,
+            "epochs": stats[victim]["epochs"],
+            "requeues": stats[victim]["requeues"],
+            "burned": stats[victim]["burned"],
+        },
+        "pool_bitwise_identical": pool_identical,
+        "queue_bitwise_identical": queue_identical,
+        "fault_bitwise_identical": fault_identical,
+    }
+    with open("BENCH_queue.json", "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    # Pinned regressions (mirrored by the queue-chaos CI job).
+    assert overhead_ratio <= MAX_OVERHEAD_RATIO, (
+        f"queue executor costs {overhead_ratio:.4f}x the pool at jobs=4 "
+        f"(pin: <= {MAX_OVERHEAD_RATIO})"
+    )
+    assert pool_identical, "pool executor changed the combined document"
+    assert queue_identical, "queue executor changed the combined document"
+    assert fault_identical, "SIGKILL + requeue changed the combined document"
+    assert stats[victim]["epochs"] >= 2, stats[victim]
+    assert stats[victim]["requeues"] >= 1, stats[victim]
+    assert stats[victim]["burned"] >= 1, stats[victim]
+    assert 0.0 < latency < 60.0, f"implausible requeue latency {latency!r}s"

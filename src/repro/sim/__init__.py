@@ -20,7 +20,15 @@ resumable *runs*:
   grid of runs (dotted-path override axes, product/zip modes, per-point
   derived seeds) and the :class:`~repro.sim.sweep.Sweep` driver executes it
   through a resumable ``multiprocessing`` pool with an atomic manifest and
-  a combined results document.
+  a combined results document,
+* :mod:`~repro.sim.queue` — a file-backed, lease-based job queue: workers
+  atomically claim sweep points under heartbeat leases, expired leases are
+  requeued with a bounded retry budget, and terminal records are first-wins
+  so no point ever completes twice (``Sweep``'s ``executor="queue"`` mode),
+* :mod:`~repro.sim.serve` — the ``python -m repro.sim serve`` daemon: a
+  local HTTP API that accepts run/sweep submissions, executes them FIFO as
+  CLI subprocesses, reports status, streams results, and resumes unfinished
+  jobs when restarted.
 
 Quick start::
 
@@ -70,7 +78,9 @@ from repro.sim.io import (
     update_option_to_dict,
     write_checkpoint,
 )
+from repro.sim.queue import Job, JobQueue, Lease, LeaseLost, QueueError
 from repro.sim.runner import Simulation, SimulationResult, run_spec
+from repro.sim.serve import ServeClient, ServeDaemon, wait_for_endpoint
 from repro.sim.sinks import (
     JSONLSink,
     JSONSink,
@@ -120,6 +130,14 @@ __all__ = [
     "SweepResult",
     "run_sweep",
     "derive_point_seed",
+    "Job",
+    "JobQueue",
+    "Lease",
+    "LeaseLost",
+    "QueueError",
+    "ServeClient",
+    "ServeDaemon",
+    "wait_for_endpoint",
     "apply_spec_override",
     "Workload",
     "ITEWorkload",

@@ -1,7 +1,7 @@
 """Command-line entry point: ``python -m repro.sim <command> ...``.
 
 Two subcommands share the checkpoint/resume contract (a third, ``report``,
-renders telemetry summaries):
+renders telemetry summaries; a fourth, ``serve``, runs a local job daemon):
 
 ``run SPEC.json [options]``
     Run the simulation a JSON :class:`~repro.sim.spec.RunSpec` describes,
@@ -11,14 +11,25 @@ renders telemetry summaries):
     deterministically.  The bare form ``python -m repro.sim SPEC.json``
     (no subcommand) still works and means ``run``.
 
-``sweep SWEEP.json [--jobs N] [--resume] [options]``
+``sweep SWEEP.json [--jobs N] [--executor pool|queue] [--resume] [options]``
     Expand a :class:`~repro.sim.sweep.SweepSpec` grid and execute it through
-    a worker pool (``--jobs``, default from the spec; 1 = serial).  Per-point
+    a worker pool (``--jobs``, default from the spec; 1 = serial) or — with
+    ``--executor queue`` — through the file-backed lease queue, where workers
+    atomically claim points under heartbeat leases and expired leases are
+    requeued (see ``docs/serve.md``).  All executors produce bitwise
+    identical combined results.  Per-point
     statuses live in ``<sweep_dir>/manifest.json``; ``--resume`` skips
     completed points and resumes interrupted ones from their checkpoints,
     and ``--stop-after-points K`` interrupts after K points finish (exit
     code 3).  On completion the per-point streams merge into one combined
     results document.
+
+``serve --dir DIR [--host H] [--port P]``
+    Start the local job daemon: clients submit run/sweep specs over a small
+    HTTP API, poll status and stream results; jobs execute FIFO as
+    subprocesses of this same CLI.  SIGTERM checkpoints the in-flight job
+    and exits with code 4 when resumable work remains; restarting the
+    daemon on the same directory resumes it (``docs/serve.md``).
 
 ``report [PATH ...]``
     Render summaries of telemetry artifacts: run ``.jsonl`` record streams,
@@ -82,7 +93,7 @@ EXIT_FAILED_POINTS = 1
 #: Signals that trigger checkpoint-and-exit (SIGINT covers Ctrl-C).
 _HANDLED_SIGNALS = (signal.SIGTERM, signal.SIGINT)
 
-_COMMANDS = ("run", "sweep", "report")
+_COMMANDS = ("run", "sweep", "report", "serve")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -140,6 +151,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("spec", help="path to the SweepSpec JSON file")
     sweep.add_argument("--jobs", type=int, default=None, metavar="N",
                        help="worker-pool size (default: the spec's jobs; 1 = serial)")
+    sweep.add_argument("--executor", choices=("pool", "queue"), default=None,
+                       help="execution strategy (default: the spec's executor): "
+                       "'pool' dispatches points to a worker pool, 'queue' runs "
+                       "them through the file-backed lease queue with heartbeat "
+                       "leases and requeue-on-expiry; results are bitwise "
+                       "identical either way")
     sweep.add_argument("--resume", action="store_true",
                        help="skip completed points and resume interrupted ones")
     sweep.add_argument(
@@ -162,6 +179,21 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress per-point progress output")
     sweep.set_defaults(func=_main_sweep)
+
+    serve = commands.add_parser(
+        "serve", help="run the local job daemon (HTTP submit/status/results API)"
+    )
+    serve.add_argument("--dir", required=True, metavar="DIR", dest="directory",
+                       help="state directory (endpoint file, per-job specs, "
+                       "results and checkpoints)")
+    serve.add_argument("--host", default="127.0.0.1", metavar="HOST",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0, metavar="PORT",
+                       help="bind port (default: 0 = pick a free port, "
+                       "published in DIR/serve.json)")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress job-transition log output")
+    serve.set_defaults(func=_main_serve)
 
     report = commands.add_parser(
         "report", help="summarize telemetry artifacts and the perf trajectory"
@@ -310,6 +342,7 @@ def _main_sweep(args) -> int:
     try:
         result = sweep.run(
             jobs=args.jobs,
+            executor=args.executor,
             resume=args.resume,
             stop_after_points=args.stop_after_points,
             count_flops=args.count_flops,
@@ -341,6 +374,20 @@ def _main_sweep(args) -> int:
     if any(status == STATUS_FAILED for status in result.statuses.values()):
         return EXIT_FAILED_POINTS
     return 0
+
+
+def _main_serve(args) -> int:
+    from repro.sim.serve import ServeDaemon
+
+    daemon = ServeDaemon(
+        args.directory, host=args.host, port=args.port, quiet=args.quiet
+    )
+    daemon.start()
+    received, previous, handler = _install_stop_handlers(daemon.request_shutdown)
+    try:
+        return daemon.wait()
+    finally:
+        _restore_handlers(previous, handler)
 
 
 def _main_report(args) -> int:

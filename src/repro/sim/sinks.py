@@ -133,6 +133,15 @@ class SweepSink:
         """
         self.sink.write({"point": point, "summary": dict(row)})
 
+    def write_reference(self, row: Dict[str, Any]) -> None:
+        """Append the sweep-level shared-reference row.
+
+        Written once, before any point's records, nested under a
+        ``"reference"`` key and carrying no ``"point"`` tag — so per-point
+        readers (:meth:`SweepResult.point_records`) never see it.
+        """
+        self.sink.write({"reference": dict(row)})
+
     def close(self) -> None:
         self.sink.close()
 

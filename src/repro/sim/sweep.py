@@ -48,13 +48,16 @@ deterministic as the records themselves (see ``docs/cli.md``).
 from __future__ import annotations
 
 import copy
+import hashlib
 import itertools
 import json
 import multiprocessing
 import os
 import queue as queue_module
 import re
+import shutil
 import signal
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
@@ -62,9 +65,18 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 from repro.sim.io import (
     FORMAT_VERSION,
     PAYLOAD_INLINE,
+    NpzPayloadStore,
     atomic_write_json,
     canonical_json,
     check_payload,
+)
+from repro.sim.queue import (
+    STATE_DONE,
+    STATE_FAILED,
+    STATE_LEASED,
+    STATE_RELEASED,
+    JobQueue,
+    LeaseLost,
 )
 from repro.sim.runner import Simulation
 from repro.sim.sinks import SweepSink, make_sink
@@ -164,6 +176,30 @@ class SweepSpec:
         base seed (default).  Disable to run every point with the base seed
         (e.g. to isolate the effect of an axis at fixed randomness).  An
         explicit ``"seed"`` axis/override always wins.
+    executor:
+        How parallel points are executed: ``"pool"`` (the bounded-dispatch
+        multiprocessing pool, default) or ``"queue"`` (the lease-based
+        :class:`~repro.sim.queue.JobQueue`: workers atomically claim points
+        with heartbeat leases, crashed workers' leases expire and requeue).
+        Serial, pool and queue execution all produce bitwise-identical
+        combined documents (same seeds, same merge order).
+    queue:
+        Queue-executor tuning (``executor: "queue"`` only): ``lease_seconds``
+        (default 30), ``max_attempts`` (expired leases before the point is
+        failed, default 3), ``heartbeat_seconds`` (default lease/4),
+        ``poll_seconds`` (claim/status poll interval, default 0.05), and the
+        test-only ``fault`` knob ``{"job": <point name>, "mode": "sigkill" |
+        "sigterm", "after_records": k, "epochs": [..] | "all"}`` making the
+        worker kill itself mid-point deterministically (chaos tests).
+    reference:
+        Shared reference-payload slot: computed **once per sweep** in the
+        parent, content-addressed under ``<sweep_dir>/shared/`` through the
+        npz :class:`~repro.sim.io.PayloadStore`, surfaced in the manifest
+        and as the leading ``{"reference": ...}`` row of the combined
+        document.  Currently ``{"kind": "statevector"}`` (+ optional
+        ``tau``/``n_steps``/``max_sites``): the exact statevector ITE
+        baseline of the base spec's model (the Fig. 13 reference), instead
+        of recomputing it per point.
     """
 
     name: str = "sweep"
@@ -175,6 +211,14 @@ class SweepSpec:
     results: Optional[str] = None
     jobs: int = 1
     derive_seeds: bool = True
+    executor: str = "pool"
+    queue: Optional[Dict[str, Any]] = None
+    reference: Optional[Dict[str, Any]] = None
+
+    _QUEUE_KEYS = frozenset(
+        {"lease_seconds", "max_attempts", "heartbeat_seconds", "poll_seconds", "fault"}
+    )
+    _REFERENCE_KEYS = frozenset({"kind", "tau", "n_steps", "max_sites"})
 
     def __post_init__(self) -> None:
         if self.mode not in ("product", "zip"):
@@ -199,6 +243,37 @@ class SweepSpec:
         self.jobs = int(self.jobs)
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.executor not in ("pool", "queue"):
+            raise ValueError(
+                f'executor must be "pool" or "queue", got {self.executor!r}'
+            )
+        if self.queue is not None:
+            if not isinstance(self.queue, dict):
+                raise ValueError(
+                    f"queue config must be a dict, got {type(self.queue).__name__}"
+                )
+            unknown = set(self.queue) - self._QUEUE_KEYS
+            if unknown:
+                raise ValueError(
+                    f"unknown queue config keys {sorted(unknown)}; "
+                    f"known: {sorted(self._QUEUE_KEYS)}"
+                )
+        if self.reference is not None:
+            if not isinstance(self.reference, dict):
+                raise ValueError(
+                    f"reference config must be a dict, got {type(self.reference).__name__}"
+                )
+            unknown = set(self.reference) - self._REFERENCE_KEYS
+            if unknown:
+                raise ValueError(
+                    f"unknown reference config keys {sorted(unknown)}; "
+                    f"known: {sorted(self._REFERENCE_KEYS)}"
+                )
+            if self.reference.get("kind") != "statevector":
+                raise ValueError(
+                    f'reference kind must be "statevector", '
+                    f"got {self.reference.get('kind')!r}"
+                )
 
     # ------------------------------------------------------------------ #
     # Dict / JSON round trip (mirrors RunSpec)
@@ -240,6 +315,9 @@ class SweepSpec:
             "results": self.results,
             "jobs": self.jobs,
             "derive_seeds": self.derive_seeds,
+            "executor": self.executor,
+            "queue": copy.deepcopy(self.queue),
+            "reference": copy.deepcopy(self.reference),
         }
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -322,6 +400,8 @@ class SweepResult:
     manifest_path: Optional[str] = None
     metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     errors: Dict[str, str] = field(default_factory=dict)
+    #: The shared reference payload (``spec.reference``), when configured.
+    reference: Optional[Dict[str, Any]] = None
 
     @property
     def failed(self) -> List[str]:
@@ -437,6 +517,162 @@ def _sweep_worker(task_queue, result_queue, stop_event, count_flops) -> None:
         result_queue.put(("finished", name, outcome))
 
 
+# --------------------------------------------------------------------- #
+# Queue executor (executor: "queue"): lease-claiming worker processes
+# --------------------------------------------------------------------- #
+def _fault_hook(fault: Optional[Dict[str, Any]], job_id: str, epoch: int):
+    """Deterministic chaos knob: self-kill after K records of one point.
+
+    ``fault = {"job": name, "mode": "sigkill"|"sigterm", "after_records": k,
+    "epochs": [0] | "all"}`` — SIGKILL models a hard crash (the lease must
+    expire and requeue), SIGTERM the cooperative checkpoint-and-release
+    path.  Follows the distributed backend's ``WorkerFault`` precedent: the
+    fault is part of the config so chaos tests are exactly reproducible.
+    """
+    if fault is None or fault.get("job") != job_id:
+        return None
+    epochs = fault.get("epochs", [0])
+    if epochs != "all" and epoch not in epochs:
+        return None
+    mode = fault.get("mode", "sigkill")
+    after = max(1, int(fault.get("after_records", 1)))
+    seen = {"n": 0}
+
+    def hook(record: Dict[str, Any]) -> None:
+        seen["n"] += 1
+        if seen["n"] >= after:
+            os.kill(
+                os.getpid(),
+                signal.SIGKILL if mode == "sigkill" else signal.SIGTERM,
+            )
+
+    return hook
+
+
+def _run_leased_point(
+    jq: JobQueue,
+    lease,
+    heartbeat_seconds: float,
+    count_flops: bool,
+    fault: Optional[Dict[str, Any]],
+) -> None:
+    """Run one claimed point under a heartbeat, then publish its outcome.
+
+    The point writes its records to an **epoch-scoped** results path
+    (``results.jsonl.ep0001``); only a *completed* epoch atomically renames
+    it onto the final path, immediately before publishing the first-wins
+    terminal record.  A zombie epoch (lease expired, successor running) can
+    therefore never tear the final results file: partial epoch files are
+    never renamed, and racing renames of completed epochs carry bitwise-
+    identical bytes.
+    """
+    payload = dict(lease.payload)
+    final_results = payload["results"]
+    # Keep the extension so the epoch file gets the same sink kind (.jsonl
+    # stream vs .json document) as the final path it is renamed onto.
+    root, ext = os.path.splitext(final_results)
+    epoch_results = f"{root}.ep{lease.epoch:04d}{ext}"
+    payload["results"] = epoch_results
+
+    lost = threading.Event()
+    stop_beats = threading.Event()
+
+    def beat() -> None:
+        while not stop_beats.wait(heartbeat_seconds):
+            try:
+                jq.heartbeat(lease)
+            except LeaseLost:
+                # Superseded: abandon the point (the successor owns it now).
+                lost.set()
+                REGISTRY.counter("dist.queue.lease_lost").add()
+                simulation = _WORKER_STATE.get("simulation")
+                if simulation is not None:
+                    simulation.request_stop()
+                return
+            except OSError:  # pragma: no cover - transient fs error
+                continue
+
+    beats = threading.Thread(target=beat, daemon=True)
+    beats.start()
+    try:
+        with _span("queue_point", point=lease.job_id, epoch=lease.epoch):
+            outcome = _execute_point(
+                payload,
+                # Requeued epochs always resume: epoch 0 may have
+                # checkpointed before its worker died.
+                lease.allow_resume or lease.epoch > 0,
+                count_flops=count_flops,
+                register=_worker_register,
+                record_progress=_fault_hook(fault, lease.job_id, lease.epoch),
+            )
+    finally:
+        stop_beats.set()
+        beats.join(timeout=heartbeat_seconds + 5.0)
+    outcome["queue"] = {
+        "epoch": lease.epoch,
+        "attempt": lease.attempt,
+        "requeues": lease.requeues,
+        "owner": lease.owner,
+    }
+    if lost.is_set():
+        return
+    if outcome["status"] == STATUS_DONE:
+        try:
+            os.replace(epoch_results, final_results)
+        except FileNotFoundError:
+            # A successor completed first and swept our epoch file while we
+            # raced it; its terminal record already carries this outcome.
+            return
+        jq.complete(lease, outcome)
+        # Sweep partial epoch files from crashed prior epochs: they never
+        # touch the final path, but leaving them around would look like lost
+        # results.  Best-effort — a racing unlink is fine either way.
+        directory = os.path.dirname(final_results) or "."
+        prefix = os.path.basename(root) + ".ep"
+        for name in os.listdir(directory):
+            if name.startswith(prefix) and name.endswith(ext):
+                try:
+                    os.unlink(os.path.join(directory, name))
+                except OSError:
+                    pass
+    elif outcome["status"] == STATUS_FAILED:
+        jq.fail(lease, outcome.get("error") or "point failed", result=outcome)
+    else:  # interrupted: checkpointed, give the lease back without burn
+        try:
+            os.unlink(epoch_results)
+        except FileNotFoundError:  # pragma: no cover - interrupted pre-open
+            pass
+        jq.release(lease, outcome)
+
+
+def _queue_worker(
+    queue_dir: str,
+    worker_index: int,
+    heartbeat_seconds: float,
+    poll_seconds: float,
+    count_flops: bool,
+    fault: Optional[Dict[str, Any]],
+) -> None:
+    """Queue worker: claim points until the grid drains, pauses or stops."""
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(sig, _worker_signal_handler)
+        except (ValueError, OSError):  # pragma: no cover - exotic platforms
+            pass
+    jq = JobQueue(queue_dir)
+    owner = f"worker-{worker_index}:pid{os.getpid()}"
+    while not _WORKER_STATE["stop"]:
+        if jq.paused():
+            break
+        lease = jq.claim(owner)
+        if lease is None:
+            if jq.outstanding() == 0:
+                break
+            time.sleep(poll_seconds)
+            continue
+        _run_leased_point(jq, lease, heartbeat_seconds, count_flops, fault)
+
+
 class Sweep:
     """Driver executing a :class:`SweepSpec` grid with manifest + resume.
 
@@ -465,6 +701,8 @@ class Sweep:
         self._stop_event = None
         self._workers: List[Any] = []
         self._current_simulation: Optional[Simulation] = None
+        self._active_executor = self.spec.executor
+        self._reference: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------ #
     # External stop requests (preemption / signal handling)
@@ -501,8 +739,13 @@ class Sweep:
             "type": "SweepManifest",
             "sweep": self.spec.name,
             "spec": self.spec.to_dict(),
+            "executor": self._active_executor,
             "points": list(self._entries.values()),
         }
+        if self._active_executor == "queue":
+            payload["queue"] = self._queue_config()
+        if self._reference is not None:
+            payload["reference"] = self._reference
         return atomic_write_json(self.spec.manifest_path, payload)
 
     @staticmethod
@@ -525,6 +768,7 @@ class Sweep:
                 "final_step": None,
                 "error": None,
                 "metrics": None,
+                "queue": None,
             }
             for point in points
         }
@@ -581,6 +825,7 @@ class Sweep:
         count_flops: bool = False,
         progress: Optional[SweepProgress] = None,
         record_progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+        executor: Optional[str] = None,
     ) -> SweepResult:
         """Execute (or continue) the grid.
 
@@ -605,14 +850,23 @@ class Sweep:
         record_progress:
             Serial mode only: forwarded to each point's
             :meth:`Simulation.run` so step records stream as they appear.
+        executor:
+            Override ``spec.executor`` (``"pool"`` or ``"queue"``).  The
+            queue executor always runs worker processes, even at ``jobs=1``.
         """
         spec = self.spec
+        executor = spec.executor if executor is None else executor
+        if executor not in ("pool", "queue"):
+            raise ValueError(f'executor must be "pool" or "queue", got {executor!r}')
+        self._active_executor = executor
         points = spec.expand()
         os.makedirs(spec.sweep_dir, exist_ok=True)
         # Deliberately no reset of _stop_requested (mirroring Simulation.run):
         # a signal that races the expansion/manifest setup must survive into
         # the dispatch loop so the sweep still stops before its first point.
         self._entries = self._resume_entries(points) if resume else self._fresh_entries(points)
+        if spec.reference is not None:
+            self._reference = self._ensure_reference()
         self._write_manifest()
 
         tasks: List[Tuple[str, Dict[str, Any], bool]] = [
@@ -624,7 +878,11 @@ class Sweep:
         interrupted = False
         stop_reason: Optional[str] = None
         if tasks:
-            if jobs <= 1 or len(tasks) == 1:
+            if executor == "queue":
+                interrupted, stop_reason = self._run_queue(
+                    tasks, jobs, stop_after_points, count_flops, progress
+                )
+            elif jobs <= 1 or len(tasks) == 1:
                 interrupted, stop_reason = self._run_serial(
                     tasks, stop_after_points, count_flops, progress, record_progress
                 )
@@ -660,6 +918,7 @@ class Sweep:
             manifest_path=spec.manifest_path,
             metrics=metrics,
             errors=errors,
+            reference=self._reference,
         )
 
     # ------------------------------------------------------------------ #
@@ -837,6 +1096,282 @@ class Sweep:
         return interrupted, stop_reason
 
     # ------------------------------------------------------------------ #
+    # Queue executor
+    # ------------------------------------------------------------------ #
+    def _queue_config(self) -> Dict[str, Any]:
+        """The resolved queue-executor configuration (defaults applied)."""
+        cfg = dict(self.spec.queue or {})
+        lease_seconds = float(cfg.get("lease_seconds", 30.0))
+        return {
+            "dir": os.path.join(self.spec.sweep_dir, "queue"),
+            "lease_seconds": lease_seconds,
+            "max_attempts": int(cfg.get("max_attempts", 3)),
+            "heartbeat_seconds": float(
+                cfg.get("heartbeat_seconds", max(lease_seconds / 4.0, 0.01))
+            ),
+            "poll_seconds": float(cfg.get("poll_seconds", 0.05)),
+            "fault": cfg.get("fault"),
+        }
+
+    def _run_queue(
+        self,
+        tasks: List[Tuple[str, Dict[str, Any], bool]],
+        jobs: int,
+        stop_after_points: Optional[int],
+        count_flops: bool,
+        progress: Optional[SweepProgress],
+    ) -> Tuple[bool, Optional[str]]:
+        """Execute the grid through the lease-based :class:`JobQueue`.
+
+        The parent builds a fresh queue under ``<sweep_dir>/queue/`` (queue
+        state is per-session; cross-session resume state lives in the
+        manifest + checkpoints as before), spawns claim-loop workers, and
+        polls queue state into the manifest.  Crashed workers are respawned
+        while work remains; expired leases requeue lazily at claim time and
+        :meth:`JobQueue.resolve_expired` fails budget-exhausted points.
+
+        ``stop_after_points`` keeps its "no new point starts once stopping"
+        determinism by submitting only the first K remaining points to the
+        queue (workers self-claim, so a post-hoc stop could race an extra
+        claim); requeued epochs of a submitted point never count extra.
+        """
+        # Deterministic stop knob: submit only the first K remaining points.
+        submit = tasks if stop_after_points is None else tasks[: max(0, stop_after_points)]
+        held_back = len(tasks) - len(submit)
+        if not submit:
+            return True, "stop_after_points"
+        cfg = self._queue_config()
+        queue_dir = cfg["dir"]
+        if os.path.isdir(queue_dir):
+            shutil.rmtree(queue_dir)
+        jq = JobQueue.create(
+            queue_dir,
+            [
+                {"id": name, "payload": payload, "allow_resume": allow_resume}
+                for name, payload, allow_resume in submit
+            ],
+            lease_seconds=cfg["lease_seconds"],
+            max_attempts=cfg["max_attempts"],
+        )
+        context = multiprocessing.get_context()
+        n_workers = max(1, min(jobs, len(submit)))
+        spawned = 0
+
+        def spawn():
+            nonlocal spawned
+            worker = context.Process(
+                target=_queue_worker,
+                args=(
+                    queue_dir,
+                    spawned,
+                    cfg["heartbeat_seconds"],
+                    cfg["poll_seconds"],
+                    count_flops,
+                    cfg["fault"],
+                ),
+                daemon=True,
+            )
+            spawned += 1
+            worker.start()
+            return worker
+
+        workers = [spawn() for _ in range(n_workers)]
+        self._workers = workers
+        # Crashed workers are replaced while work remains; the budget bounds
+        # pathological crash loops (a fault that kills every epoch burns at
+        # most max_attempts workers per point before the point is failed).
+        respawn_budget = len(submit) * cfg["max_attempts"] + n_workers
+
+        observed = {name: {"state": "pending", "epochs": 0} for name, _, _ in submit}
+        counters = {"finished": 0}
+        stopping = False
+        stop_reason: Optional[str] = None
+        if held_back:
+            stop_reason = "stop_after_points"
+
+        def observe() -> None:
+            """Translate queue-state transitions into manifest updates."""
+            jq.resolve_expired()
+            status = jq.status()
+            changed = False
+            for name, _, _ in submit:
+                state = status[name]
+                prev = observed[name]
+                if (state["state"], state["epochs"]) == (prev["state"], prev["epochs"]):
+                    continue
+                changed = True
+                observed[name] = {"state": state["state"], "epochs": state["epochs"]}
+                entry = self._entries[name]
+                entry["queue"] = {
+                    "state": state["state"],
+                    "epochs": state["epochs"],
+                    "requeues": max(0, state["epochs"] - 1),
+                    "burned": state["burned"],
+                    "owner": state.get("owner"),
+                }
+                if state["state"] == STATE_LEASED:
+                    # First lease marks the point running; requeued epochs
+                    # re-announce so retries are visible to observers.
+                    self._mark_started(name, progress)
+                elif state["state"] == STATE_RELEASED:
+                    outcome = state.get("released_outcome") or {
+                        "status": STATUS_RUNNING,
+                        "interrupted": True,
+                    }
+                    self._mark_finished(name, outcome, progress)
+                elif state["state"] in (STATE_DONE, STATE_FAILED):
+                    terminal = state["terminal"]
+                    outcome = dict(terminal.get("result") or {})
+                    outcome["status"] = terminal["status"]
+                    if terminal.get("error") and not outcome.get("error"):
+                        outcome["error"] = terminal["error"]
+                    self._mark_finished(name, outcome, progress)
+                    if terminal["status"] == STATUS_DONE:
+                        counters["finished"] += 1
+                # STATE_EXPIRED keeps the manifest status "running": either
+                # the next claim requeues it or the budget check fails it.
+            if changed:
+                self._write_manifest()
+
+        try:
+            while True:
+                if self._stop_requested and not stopping:
+                    stopping = True
+                    stop_reason = "stop_requested"
+                    jq.pause()
+                    for worker in workers:
+                        if worker.is_alive():
+                            try:
+                                os.kill(worker.pid, signal.SIGTERM)
+                            except (OSError, ValueError):  # pragma: no cover
+                                pass
+                observe()
+                if jq.outstanding() == 0:
+                    break
+                if stopping:
+                    if not any(worker.is_alive() for worker in workers):
+                        break
+                else:
+                    for i, worker in enumerate(workers):
+                        if (
+                            not worker.is_alive()
+                            and respawn_budget > 0
+                            and jq.outstanding() > 0
+                        ):
+                            worker.join(timeout=1)
+                            workers[i] = spawn()
+                            respawn_budget -= 1
+                    self._workers = workers
+                    if not any(worker.is_alive() for worker in workers):
+                        stop_reason = stop_reason or "workers_exhausted"
+                        break
+                time.sleep(cfg["poll_seconds"])
+        finally:
+            jq.pause()
+            for worker in workers:
+                worker.join(timeout=60)
+            for worker in workers:
+                if worker.is_alive():  # pragma: no cover - stuck worker
+                    worker.terminate()
+                    worker.join(timeout=5)
+            observe()  # transitions that landed after the last poll
+            self._workers = []
+
+        interrupted = bool(
+            self._stop_requested or held_back or jq.outstanding() > 0
+        )
+        if interrupted:
+            stop_reason = stop_reason or "stop_requested"
+        return interrupted, stop_reason
+
+    # ------------------------------------------------------------------ #
+    # Shared reference payload
+    # ------------------------------------------------------------------ #
+    #: Keys of the reference surfaced in the combined document (the on-disk
+    #: path and cache_hit flag are execution details, excluded so serial /
+    #: pool / queue / cached runs stay bitwise identical).
+    _REFERENCE_ROW_KEYS = (
+        "kind", "key", "n_sites", "tau", "n_steps", "final_energy", "energies",
+    )
+
+    def _ensure_reference(self) -> Dict[str, Any]:
+        """Compute (or load) the sweep's shared statevector reference.
+
+        Content-addressed: the key hashes the physics inputs (model, lattice,
+        tau, n_steps, initial state), so re-runs and resumed sweeps reuse the
+        ``<sweep_dir>/shared/reference-<key>.npz`` payload instead of
+        recomputing, and an edited base spec can never alias a stale
+        reference.  Stored through the npz :class:`PayloadStore` (atomic,
+        deterministic bytes); the float64 energy trace round-trips bitwise,
+        so a cache hit surfaces the exact floats the miss computed.
+        """
+        import numpy as np
+
+        cfg = dict(self.spec.reference or {})
+        base = RunSpec.from_dict(copy.deepcopy(self.spec.base))
+        n_sites = base.n_sites
+        max_sites = int(cfg.get("max_sites", 12))
+        if n_sites > max_sites:
+            raise ValueError(
+                f"statevector reference is dense ({2 ** n_sites} amplitudes): "
+                f"n_sites={n_sites} exceeds max_sites={max_sites} "
+                f'(raise {{"reference": {{"max_sites": ...}}}} explicitly to allow it)'
+            )
+        algorithm = base.algorithm or {}
+        tau = float(cfg.get("tau", algorithm.get("tau", 0.05)))
+        n_steps = int(cfg.get("n_steps", base.n_steps or 0))
+        if n_steps < 1:
+            raise ValueError("statevector reference needs n_steps >= 1")
+        lattice = base.lattice if isinstance(base.lattice, dict) else list(base.lattice)
+        key_doc = {
+            "kind": "statevector",
+            "lattice": lattice,
+            "model": base.model,
+            "tau": tau,
+            "n_steps": n_steps,
+            "initial_state": "plus",
+        }
+        key = hashlib.sha256(canonical_json(key_doc).encode()).hexdigest()[:16]
+        path = os.path.join(self.spec.sweep_dir, "shared", f"reference-{key}.npz")
+        cache_hit = os.path.exists(path)
+        if cache_hit:
+            store = NpzPayloadStore.open(path)
+            try:
+                trace = store.get({"npz": "reference/energies"})
+            finally:
+                store.close()
+            energies = [float(value) for value in np.asarray(trace)]
+            REGISTRY.counter("sweep.reference_cache", outcome="hit").add()
+        else:
+            from repro.statevector.statevector import StateVector
+
+            hamiltonian = base.build_model()
+            amplitudes = np.full(
+                2 ** n_sites, 2.0 ** (-n_sites / 2.0), dtype=np.complex128
+            )
+            with _span("sweep_reference", key=key):
+                final, trace = StateVector(
+                    amplitudes, n_sites
+                ).imaginary_time_evolution(hamiltonian, tau, n_steps)
+            store = NpzPayloadStore(inline_threshold=0)
+            store.put("reference/amplitudes", np.ascontiguousarray(final.amplitudes))
+            store.put("reference/energies", np.asarray(trace, dtype=np.float64))
+            store.save(path)
+            energies = [float(value) for value in trace]
+            REGISTRY.counter("sweep.reference_cache", outcome="miss").add()
+        return {
+            "kind": "statevector",
+            "key": key,
+            "path": path,
+            "cache_hit": cache_hit,
+            "n_sites": n_sites,
+            "tau": tau,
+            "n_steps": n_steps,
+            "final_energy": energies[-1],
+            "energies": energies,
+        }
+
+    # ------------------------------------------------------------------ #
     # Combined results
     # ------------------------------------------------------------------ #
     def _write_combined(
@@ -853,6 +1388,10 @@ class Sweep:
         sink = SweepSink(make_sink(path))
         sink.open()
         try:
+            if self._reference is not None:
+                sink.write_reference(
+                    {key: self._reference[key] for key in self._REFERENCE_ROW_KEYS}
+                )
             for point in points:
                 records = _read_point_records(point.results_path)
                 sink.write_point(point.name, records)

@@ -40,7 +40,7 @@ def help_texts(monkeypatch, capsys):
     """The parser's help output at the width the docs were generated at."""
     monkeypatch.setenv("COLUMNS", "80")
     out = {"main": build_parser().format_help()}
-    for name in ("run", "sweep", "report"):
+    for name in ("run", "sweep", "report", "serve"):
         # Public argparse behavior: `<cmd> --help` prints and exits 0.
         with pytest.raises(SystemExit) as exit_info:
             build_parser().parse_args([name, "--help"])
@@ -55,7 +55,7 @@ class TestHelpSnapshots:
         snapshots = {
             m.group("name"): m.group("body") for m in SNAPSHOT_RE.finditer(read(CLI_DOC))
         }
-        assert set(snapshots) == {"main", "run", "sweep", "report"}
+        assert set(snapshots) == {"main", "run", "sweep", "report", "serve"}
         for name, expected in help_texts(monkeypatch, capsys).items():
             assert snapshots[name].rstrip("\n") == expected.rstrip("\n"), (
                 f"docs/cli.md help-snapshot {name!r} is stale; regenerate with "
@@ -100,5 +100,6 @@ class TestMarkdownLinks:
         readme = read(os.path.join(REPO_ROOT, "README.md"))
         for name in ("docs/checkpoint-format.md", "docs/cli.md",
                      "docs/architecture.md", "docs/models.md",
-                     "docs/perf.md", "docs/observability.md"):
+                     "docs/perf.md", "docs/observability.md",
+                     "docs/serve.md"):
             assert name in readme, f"README.md does not link {name}"

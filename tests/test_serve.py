@@ -1,0 +1,183 @@
+"""End-to-end tests for the `python -m repro.sim serve` daemon.
+
+The satellite contract: submit a sweep over the HTTP API, poll its status,
+stream its results, shut the daemon down mid-job with exit-code-4 semantics
+(the in-flight job checkpoints and is marked resumable), restart the daemon
+on the same state directory, and verify the finished job's results are
+bitwise identical to an uninterrupted golden run.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.sim import Sweep, SweepSpec
+from repro.sim.serve import (
+    JOB_DONE,
+    JOB_INTERRUPTED,
+    ServeClient,
+    wait_for_endpoint,
+)
+
+from test_sweep import BASE
+
+RUN_SPEC = {
+    "name": "serve-run",
+    **{k: v for k, v in BASE.items() if k != "checkpoint_every"},
+    "checkpoint_every": 1,
+}
+
+
+def sweep_payload(n_steps=3):
+    base = dict(BASE, n_steps=n_steps)
+    return {
+        "name": "serve-sweep",
+        "base": base,
+        "axes": {"update.rank": [1, 2], "contraction.bond": [2, 4]},
+    }
+
+
+def daemon_env():
+    env = dict(os.environ)
+    src = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    )
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    """A running daemon on a fresh state dir; yields (state_dir, client, proc)."""
+    state = tmp_path / "serve"
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.sim", "serve", "--dir", str(state)],
+        env=daemon_env(), stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        endpoint = wait_for_endpoint(state, timeout=60)
+        yield state, ServeClient(endpoint["url"]), process
+    finally:
+        if process.poll() is None:
+            process.send_signal(signal.SIGTERM)
+            try:
+                process.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                process.kill()
+
+
+def start_daemon(state):
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.sim", "serve", "--dir", str(state)],
+        env=daemon_env(), stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True,
+    )
+    endpoint = wait_for_endpoint(state, timeout=60)
+    return process, ServeClient(endpoint["url"])
+
+
+def golden_sweep_bytes(tmp_path, n_steps=3):
+    spec = SweepSpec.from_dict(
+        dict(sweep_payload(n_steps), sweep_dir=str(tmp_path / "golden"))
+    )
+    result = Sweep(spec).run(jobs=1)
+    assert result.completed
+    with open(result.combined_path, "rb") as handle:
+        return handle.read()
+
+
+class TestDaemonLifecycle:
+    def test_health_and_404(self, daemon):
+        _, client, _ = daemon
+        health = client.health()
+        assert health["status"] == "ok"
+        assert not health["shutting_down"]
+        with pytest.raises(RuntimeError, match="404"):
+            client.job("job-9999")
+
+    def test_run_submit_poll_stream(self, daemon):
+        _, client, _ = daemon
+        job = client.submit_run(RUN_SPEC)
+        assert job["id"] == "job-0001"
+        final = client.wait(job["id"], timeout=120)
+        assert final["status"] == JOB_DONE
+        assert final["exit_code"] == 0
+        lines = client.stream_results(job["id"], timeout=60)
+        assert len(lines) == BASE["n_steps"]
+        assert all("energy" in json.loads(line) for line in lines)
+        # Paged streaming: since=N skips exactly N lines.
+        tail, next_line = client.results(job["id"], since=len(lines) - 1)
+        assert tail == lines[-1:]
+        assert next_line == len(lines)
+
+    def test_bad_submission_rejected_daemon_survives(self, daemon):
+        _, client, _ = daemon
+        with pytest.raises(RuntimeError, match="400"):
+            client.submit_sweep({"base": dict(BASE), "axes": [1, 2, 3]})
+        assert client.health()["status"] == "ok"
+
+    def test_clean_shutdown_exits_zero(self, daemon):
+        _, client, process = daemon
+        job = client.submit_run(RUN_SPEC)
+        client.wait(job["id"], timeout=120)
+        client.shutdown()
+        assert process.wait(timeout=60) == 0
+
+
+class TestSweepThroughDaemon:
+    def test_sweep_results_match_golden(self, tmp_path, daemon):
+        golden = golden_sweep_bytes(tmp_path)
+        _, client, _ = daemon
+        job = client.submit_sweep(sweep_payload(), jobs=2, executor="queue")
+        final = client.wait(job["id"], timeout=300)
+        assert final["status"] == JOB_DONE, final
+        lines = client.stream_results(job["id"], timeout=60)
+        assert ("\n".join(lines) + "\n").encode() == golden
+
+    def test_interrupt_exit4_resume_completes_to_golden(self, tmp_path):
+        """The satellite scenario: SIGTERM mid-sweep -> daemon exits 4 with
+        the job interrupted; a restarted daemon resumes it to completion and
+        the results are bitwise identical to the uninterrupted golden run."""
+        golden = golden_sweep_bytes(tmp_path, n_steps=25)
+        state = tmp_path / "serve"
+        process, client = start_daemon(state)
+        try:
+            job = client.submit_sweep(sweep_payload(n_steps=25), jobs=2)
+            # Wait for real progress (the child's sweep manifest) before
+            # pulling the plug, so SIGTERM lands after the child installed
+            # its handlers and takes the checkpoint-and-exit-4 path.
+            manifest = state / "jobs" / job["id"] / "work" / "sweep" / "manifest.json"
+            deadline = time.monotonic() + 120
+            while not manifest.exists():
+                assert time.monotonic() < deadline, "sweep never started"
+                time.sleep(0.05)
+            time.sleep(0.3)
+        finally:
+            process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=120) == 4, "unfinished work must exit 4"
+
+        interrupted = json.load(
+            open(state / "jobs" / job["id"] / "job.json")
+        )
+        assert interrupted["status"] == JOB_INTERRUPTED
+        assert interrupted["resume"] is True
+        assert interrupted["exit_code"] == 4
+
+        # Restart on the same directory: the job re-enqueues with --resume.
+        process, client = start_daemon(state)
+        try:
+            final = client.wait(job["id"], timeout=600)
+            assert final["status"] == JOB_DONE
+            lines = client.stream_results(job["id"], timeout=60)
+            assert ("\n".join(lines) + "\n").encode() == golden
+            client.shutdown()
+            assert process.wait(timeout=120) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()

@@ -502,3 +502,101 @@ class TestManifestPayloadFormat:
         assert result.completed
         manifest = Sweep.load_manifest(result.manifest_path)
         assert [p["payload"] for p in manifest["points"]] == ["inline", "npz"]
+
+
+class TestQueueExecutorSpec:
+    """SweepSpec surface for the queue executor and the reference slot."""
+
+    def test_executor_and_queue_round_trip(self, tmp_path):
+        spec = sweep_spec(
+            tmp_path,
+            executor="queue",
+            queue={"lease_seconds": 2.0, "max_attempts": 2},
+        )
+        again = SweepSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.executor == "queue"
+        assert again.queue == {"lease_seconds": 2.0, "max_attempts": 2}
+
+    def test_reference_round_trip(self, tmp_path):
+        spec = sweep_spec(
+            tmp_path, reference={"kind": "statevector", "n_steps": 2}
+        )
+        assert SweepSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_executor_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="executor"):
+            sweep_spec(tmp_path, executor="spaceship")
+
+    def test_unknown_queue_key_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="queue config keys"):
+            sweep_spec(tmp_path, queue={"lease_ms": 100})
+
+    def test_unknown_reference_kind_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="statevector"):
+            sweep_spec(tmp_path, reference={"kind": "mps"})
+
+    def test_run_executor_argument_overrides_spec(self, tmp_path):
+        """run(executor=...) wins over the spec, mirroring --jobs."""
+        result = Sweep(sweep_spec(tmp_path)).run(jobs=2, executor="queue")
+        assert result.completed
+        manifest = Sweep.load_manifest(result.manifest_path)
+        assert manifest["executor"] == "queue"
+        assert all(p["queue"]["state"] == "done" for p in manifest["points"])
+
+
+class TestSharedReference:
+    """The content-addressed once-per-sweep statevector reference slot."""
+
+    def reference_spec(self, tmp_path, subdir="refsweep", **overrides):
+        return sweep_spec(
+            tmp_path, subdir,
+            reference={"kind": "statevector", "n_steps": 2},
+            **overrides,
+        )
+
+    def test_reference_computed_once_and_in_combined_doc(self, tmp_path):
+        spec = self.reference_spec(tmp_path)
+        result = Sweep(spec).run()
+        assert result.completed
+        ref = result.reference
+        assert ref["kind"] == "statevector"
+        assert ref["cache_hit"] is False
+        assert ref["n_sites"] == 4
+        assert len(ref["energies"]) == 2
+        assert os.path.basename(ref["path"]) == f"reference-{ref['key']}.npz"
+        assert os.path.exists(ref["path"])
+
+        with open(result.combined_path) as handle:
+            first = json.loads(handle.readline())
+        assert set(first) == {"reference"}
+        assert first["reference"]["final_energy"] == ref["final_energy"]
+        # Volatile bookkeeping (paths, cache hits) stays out of the document.
+        assert "path" not in first["reference"]
+        assert "cache_hit" not in first["reference"]
+
+    def test_reference_cache_hits_on_second_run(self, tmp_path):
+        spec = self.reference_spec(tmp_path)
+        first = Sweep(spec).run()
+        second = Sweep(self.reference_spec(tmp_path)).run(resume=True)
+        assert second.reference["cache_hit"] is True
+        assert second.reference["energies"] == first.reference["energies"]
+
+    def test_reference_identical_across_executors(self, tmp_path):
+        serial = Sweep(self.reference_spec(tmp_path, "ref-serial")).run()
+        queued = Sweep(
+            self.reference_spec(tmp_path, "ref-queue", executor="queue")
+        ).run(jobs=2)
+        assert queued.completed
+        with open(serial.combined_path, "rb") as a, \
+                open(queued.combined_path, "rb") as b:
+            assert a.read() == b.read()
+
+    def test_reference_refuses_large_lattices(self, tmp_path):
+        huge = dict(BASE, lattice=[5, 5])
+        spec = sweep_spec(
+            tmp_path, base=huge,
+            reference={"kind": "statevector", "n_steps": 2},
+        )
+        with pytest.raises(ValueError, match="max_sites"):
+            Sweep(spec).run()
